@@ -1,0 +1,27 @@
+"""Ablation: bucket-group size (Section IV-A).
+
+"This is a trade-off in which the right balance might be different for each
+application": many small groups spread the allocation load across many
+pages (less contention) but strand more partially-used pages at eviction
+time (more fragmentation, hence more PCIe traffic and earlier heap
+exhaustion).
+"""
+
+from conftest import once
+
+from repro.bench.ablations import (
+    render_bucket_group_ablation,
+    run_bucket_group_ablation,
+)
+
+
+def test_bucket_group_sweep(benchmark, config):
+    points = once(benchmark, run_bucket_group_ablation, config)
+    by_gs = {p.group_size: p for p in points}
+    # Fewer, larger groups -> strictly less fragmentation.
+    frag = [p.fragmented_bytes for p in sorted(points, key=lambda p: p.group_size)]
+    assert frag == sorted(frag, reverse=True)
+    # Group count matches the partition arithmetic.
+    for p in points:
+        assert p.n_groups == -(-config.n_buckets // p.group_size)
+    print("\n" + render_bucket_group_ablation(points))

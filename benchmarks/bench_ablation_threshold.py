@@ -1,0 +1,24 @@
+"""Ablation: the basic method's halt threshold (Section IV-C, footnote 5).
+
+The paper picked 50% after observing "acceptable performance".  The sweep
+shows why extremes hurt: a tiny threshold evicts a barely-used heap (many
+iterations), a huge one keeps kernels churning through postponed records.
+"""
+
+from conftest import once
+
+from repro.bench.ablations import (
+    render_threshold_ablation,
+    run_threshold_ablation,
+)
+
+
+def test_threshold_sweep(benchmark, config):
+    points = once(benchmark, run_threshold_ablation, config)
+    by_th = {p.threshold: p for p in points}
+    # A minimal threshold wastes heap capacity: strictly more iterations.
+    assert by_th[0.1].iterations >= by_th[0.95].iterations
+    # The paper's 50% should not be the worst choice.
+    worst = max(p.seconds for p in points)
+    assert by_th[0.5].seconds < worst or len({p.seconds for p in points}) == 1
+    print("\n" + render_threshold_ablation(points))

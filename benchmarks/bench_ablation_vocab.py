@@ -1,0 +1,21 @@
+"""Ablation: Word Count's distinct-key count (Section VI-B).
+
+"When we artificially increased the number of distinct keys in the input
+dataset of Word Count (by adding random, meaningless words to the input
+documents), performance quickly improved (not shown)."  Here it is shown.
+"""
+
+from conftest import once
+
+from repro.bench.ablations import render_vocab_ablation, run_vocab_ablation
+
+
+def test_vocab_sweep(benchmark, config):
+    points = once(benchmark, run_vocab_ablation, config)
+    speedups = [p.speedup for p in sorted(points, key=lambda p: p.vocab_size)]
+    # More distinct keys -> less lock contention -> better GPU speedup,
+    # monotonically across the whole sweep.
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 1.3 * speedups[0]
+    assert speedups[0] < 1.0  # natural text: collapsed below parity
+    print("\n" + render_vocab_ablation(points))

@@ -1,0 +1,71 @@
+"""Figure 6: per-application GPU-vs-CPU speedups across four datasets.
+
+Each application is one benchmark (its full 4-dataset sweep).  The final
+benchmark aggregates the cells and asserts the figure's *shape*:
+
+* Netflix and DNA Assembly lead;
+* Inverted Index trails (divergence) and Word Count sits near 1x
+  (contention) -- the paper's two pathologies;
+* larger datasets need more SEPO iterations, with graceful degradation;
+* the hash table grows past device memory for the large datasets.
+"""
+
+import pytest
+from conftest import once
+
+from repro.apps import (
+    ALL_APPS,
+    DnaAssembly,
+    InvertedIndex,
+    Netflix,
+    WordCount,
+)
+from repro.bench.fig6 import render_fig6, run_app_dataset, run_fig6
+
+_CELLS = {}
+
+
+@pytest.mark.parametrize("cls", ALL_APPS, ids=lambda c: c.name)
+def test_fig6_app_sweep(benchmark, config, cls):
+    app = cls()
+
+    def sweep():
+        return [run_app_dataset(app, d, config) for d in (1, 2, 3, 4)]
+
+    cells = once(benchmark, sweep)
+    _CELLS[app.name] = cells
+    for cell in cells:
+        assert cell.gpu_seconds > 0 and cell.cpu_seconds > 0
+    # Iteration counts never decrease with dataset size.
+    iters = [c.iterations for c in cells]
+    assert iters == sorted(iters)
+
+
+def test_fig6_shape(benchmark, config):
+    def aggregate():
+        if len(_CELLS) < len(ALL_APPS):  # ran standalone: fill in
+            for c in run_fig6(config):
+                _CELLS.setdefault(c.app, []).append(c)
+        return _CELLS
+
+    once(benchmark, aggregate)
+    by_app = {
+        name: sum(c.speedup for c in cells) / len(cells)
+        for name, cells in _CELLS.items()
+    }
+    # The paper's ordering: the two pathological apps trail everything.
+    assert by_app[WordCount.name] < 1.5
+    assert by_app[InvertedIndex.name] < by_app[DnaAssembly.name]
+    assert by_app[InvertedIndex.name] < by_app[Netflix.name]
+    assert by_app[Netflix.name] > 2.0
+    assert by_app[DnaAssembly.name] > 2.0
+    # Some large dataset pushes the table beyond device memory.
+    assert any(
+        c.table_over_memory > 1.5 for cells in _CELLS.values() for c in cells
+    )
+    # And SEPO iterated somewhere without destroying the win.
+    iterated = [c for cells in _CELLS.values() for c in cells
+                if c.iterations > 1]
+    assert iterated
+    cells = [c for cs in _CELLS.values() for c in cs]
+    print("\n" + render_fig6(cells))

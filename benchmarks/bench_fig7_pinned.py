@@ -1,0 +1,26 @@
+"""Figure 7: SEPO vs the pinned-CPU-memory heap, largest datasets.
+
+Asserts the section VI-D findings: SEPO beats the pinned variant for every
+application, and the pinned variant falls below the CPU baseline for a
+majority of them (4 of 7 in the paper).
+"""
+
+from conftest import once
+
+from repro.bench.fig7 import render_fig7, run_fig7
+
+
+def test_fig7_pinned_comparison(benchmark, config):
+    rows = once(benchmark, run_fig7, config)
+    assert len(rows) == 7
+    for r in rows:
+        assert r.sepo_speedup > r.pinned_speedup, (
+            f"{r.app}: SEPO must outperform the pinned heap "
+            f"({r.sepo_speedup:.2f}x vs {r.pinned_speedup:.2f}x)"
+        )
+    slower_than_cpu = sum(1 for r in rows if r.pinned_speedup < 1.0)
+    assert slower_than_cpu >= 3, (
+        "the pinned heap should lose to the CPU for several applications "
+        f"(paper: 4 of 7; got {slower_than_cpu})"
+    )
+    print("\n" + render_fig7(rows))

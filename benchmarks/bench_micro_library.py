@@ -1,0 +1,96 @@
+"""Microbenchmarks of the library's own hot paths.
+
+These are real timings of the Python implementation (not simulated device
+time): insert throughput per bucket organization, vectorized hashing, the
+allocator, and the LRU replayer that powers Table III.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.paging import lru_replacements
+from repro.core import (
+    BasicOrganization,
+    CombiningOrganization,
+    GpuHashTable,
+    MultiValuedOrganization,
+    RecordBatch,
+    SUM_I64,
+    fnv1a_batch,
+)
+from repro.core.records import pack_byte_rows
+from repro.memalloc import BucketGroupAllocator, GpuHeap, PageKind
+
+N = 20_000
+
+
+def make_table(org):
+    # Generous heap: 256 bucket groups x up to 2 page kinds x 64 KB pages
+    # must fit with room to grow, so no insert is postponed.
+    heap = GpuHeap(heap_bytes=48 << 20, page_size=64 << 10)
+    return GpuHashTable(1 << 14, org, heap, group_size=64)
+
+
+@pytest.fixture(scope="module")
+def numeric_batch():
+    rng = np.random.default_rng(0)
+    keys = [b"key-%06d" % i for i in rng.integers(0, N // 4, size=N)]
+    return RecordBatch.from_numeric(keys, np.ones(N, dtype=np.int64))
+
+
+@pytest.fixture(scope="module")
+def byte_batch():
+    rng = np.random.default_rng(0)
+    pairs = [
+        (b"key-%06d" % i, b"value-%06d" % i)
+        for i in rng.integers(0, N // 4, size=N)
+    ]
+    return RecordBatch.from_pairs(pairs)
+
+
+def test_insert_throughput_combining(benchmark, numeric_batch):
+    result = benchmark(
+        lambda: make_table(CombiningOrganization(SUM_I64)).insert_batch(
+            numeric_batch
+        )
+    )
+    assert result.success.all()
+
+
+def test_insert_throughput_basic(benchmark, byte_batch):
+    result = benchmark(
+        lambda: make_table(BasicOrganization()).insert_batch(byte_batch)
+    )
+    assert result.success.all()
+
+
+def test_insert_throughput_multivalued(benchmark, byte_batch):
+    result = benchmark(
+        lambda: make_table(MultiValuedOrganization()).insert_batch(byte_batch)
+    )
+    assert result.success.all()
+
+
+def test_vectorized_hash_throughput(benchmark):
+    keys, lens = pack_byte_rows([b"key-%08d" % i for i in range(100_000)])
+    out = benchmark(fnv1a_batch, keys, lens)
+    assert out.shape == (100_000,)
+
+
+def test_allocator_throughput(benchmark):
+    def run():
+        heap = GpuHeap(8 << 20, 64 << 10)
+        alloc = BucketGroupAllocator(heap, n_groups=128)
+        for i in range(50_000):
+            if alloc.allocate(i & 127, 48, PageKind.GENERIC) is None:
+                break
+        return alloc.stats.requests
+
+    assert benchmark(run) > 10_000
+
+
+def test_lru_replay_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    trace = rng.zipf(1.2, size=200_000) % 4096
+    faults = benchmark(lru_replacements, trace.astype(np.int64), 512)
+    assert faults > 0

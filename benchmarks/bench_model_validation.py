@@ -1,0 +1,71 @@
+"""Validating the analytic cost model against the discrete micro-simulator.
+
+The paper skipped the GPU-simulator route (Section VI-D); this benchmark
+builds it anyway and uses it as a check on the roofline+serialization
+model that produced every number in EXPERIMENTS.md: across a grid of batch
+shapes -- compute-bound, bandwidth-bound, contention-bound, diverged -- the
+two independent models must rank the shapes identically and stay within a
+small constant factor of one another.
+"""
+
+import numpy as np
+import pytest
+from conftest import once
+
+from repro.bench.reporting import render_table
+from repro.gpusim import BatchStats, CostLedger, GTX_780TI, KernelModel
+from repro.gpusim.microsim import Simulator, batch_traces
+
+N = 20_000
+N_BUCKETS = 4096
+
+SHAPES = {
+    "compute-bound": dict(cycles=400, nbytes=4, hot=0.0, div=1.0),
+    "bandwidth-bound": dict(cycles=10, nbytes=256, hot=0.0, div=1.0),
+    "contention-bound": dict(cycles=50, nbytes=8, hot=0.25, div=1.0),
+    "diverged": dict(cycles=300, nbytes=4, hot=0.0, div=6.0),
+    "balanced": dict(cycles=150, nbytes=48, hot=0.02, div=1.3),
+}
+
+
+def run_shape(spec):
+    rng = np.random.default_rng(1)
+    hot = int(N * spec["hot"])
+    buckets = np.concatenate(
+        [np.full(hot, 1), rng.integers(2, N_BUCKETS, size=N - hot)]
+    )
+    km = KernelModel(GTX_780TI, CostLedger())
+    analytic = km.batch_time(
+        BatchStats(
+            n_records=N,
+            cycles_per_record=spec["cycles"],
+            divergence=spec["div"],
+            bytes_touched=N * spec["nbytes"],
+            hottest_bucket=int(np.bincount(buckets).max()),
+        )
+    )
+    sim = Simulator().run(
+        batch_traces(N, spec["cycles"], spec["nbytes"],
+                     bucket_ids=buckets, divergence=spec["div"])
+    )
+    return analytic, sim.seconds(GTX_780TI.clock_hz)
+
+
+def test_analytic_model_matches_microsim(benchmark):
+    results = once(
+        benchmark, lambda: {name: run_shape(s) for name, s in SHAPES.items()}
+    )
+    rows = []
+    for name, (analytic, simulated) in results.items():
+        ratio = simulated / analytic
+        rows.append((name, f"{analytic * 1e6:.1f}us",
+                     f"{simulated * 1e6:.1f}us", f"{ratio:.2f}"))
+        # Within a small constant factor in every regime.
+        assert 0.3 < ratio < 3.5, (name, ratio)
+    # Regime *ordering* must agree between the two models.
+    order_analytic = sorted(SHAPES, key=lambda n: results[n][0])
+    order_simulated = sorted(SHAPES, key=lambda n: results[n][1])
+    assert order_analytic == order_simulated
+    print("\nAnalytic vs discrete micro-simulation (20k-record batches)\n")
+    print(render_table(["shape", "analytic", "simulated", "sim/analytic"],
+                       rows))

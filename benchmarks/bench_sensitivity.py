@@ -1,0 +1,37 @@
+"""Robustness: the reproduction's conclusions under cost-model perturbation.
+
+Simulation constants are calibrated (DESIGN.md §5); this benchmark checks
+the conclusions are not knife-edge artefacts of that calibration: each
+device parameter is halved and doubled, and the paper's qualitative claims
+must hold in every row.
+"""
+
+from conftest import once
+
+from repro.bench.sensitivity import render_sensitivity, run_sensitivity
+
+
+def test_conclusions_survive_parameter_perturbation(benchmark, config):
+    rows = once(benchmark, run_sensitivity, config)
+    assert len(rows) == 7
+    base = rows[0]
+    assert base.perturbation == "baseline"
+    for r in rows:
+        # Well-behaved apps stay accelerated...
+        assert r.pvc_speedup > 1.0, r.perturbation
+        assert r.netflix_speedup > 1.0, r.perturbation
+        # ... Word Count never becomes a big win ...
+        assert r.wordcount_speedup < 2.2, r.perturbation
+        # ... and it always trails the healthy applications ...
+        assert r.wordcount_speedup < r.pvc_speedup, r.perturbation
+        assert r.wordcount_speedup < r.netflix_speedup, r.perturbation
+        # ... while SEPO keeps beating the pinned alternative.
+        assert r.pvc_vs_pinned > 1.0, r.perturbation
+    # Direction checks: cheaper locks help Word Count, slower CPUs help
+    # every speedup.
+    by = {r.perturbation: r for r in rows}
+    assert by["gpu lock /2"].wordcount_speedup >= base.wordcount_speedup
+    assert by["gpu lock x2"].wordcount_speedup <= base.wordcount_speedup
+    assert by["cpu ipc /2"].pvc_speedup > base.pvc_speedup
+    assert by["cpu ipc x2"].pvc_speedup < base.pvc_speedup
+    print("\n" + render_sensitivity(rows))

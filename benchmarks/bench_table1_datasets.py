@@ -1,0 +1,18 @@
+"""Table I: dataset generation for all seven applications."""
+
+from conftest import once
+
+from repro.bench.datasets import render_table1, run_table1
+
+
+def test_table1_dataset_sizes(benchmark, config):
+    rows = once(benchmark, run_table1, config)
+    assert len(rows) == 7
+    for row in rows:
+        # Scaled sizes follow the paper's growth pattern.
+        assert list(row.scaled_bytes) == sorted(row.scaled_bytes)
+        assert row.records_d1 > 100
+        # Generators hit their size targets within 2x.
+        for paper_gb, scaled in zip(row.paper_gb, row.scaled_bytes):
+            assert scaled == int(paper_gb * 1e9 / config.scale)
+    print("\n" + render_table1(rows, config.scale))

@@ -1,0 +1,28 @@
+"""Table II: our MapReduce runtime vs MapCG (smallest datasets).
+
+Asserts the paper's pattern: Word Count at parity (both lock-bound), the
+two MAP_GROUP applications better by roughly 2-3x (centralized allocation
+is MapCG's bottleneck), and MapCG's hard OOM failure on a large dataset.
+"""
+
+from conftest import once
+
+from repro.bench.table2 import render_table2, run_table2
+
+
+def test_table2_vs_mapcg(benchmark, config):
+    rows = once(benchmark, run_table2, config)
+    by_app = {r.app: r for r in rows}
+
+    wc = by_app["Word Count"]
+    assert 0.7 < wc.speedup < 1.6, "Word Count should be near parity (1.05x)"
+
+    for name in ("Patent Citation", "Geo Location"):
+        r = by_app[name]
+        assert 1.5 < r.speedup < 4.0, (
+            f"{name} should beat MapCG by roughly the paper's 2.4-2.6x"
+        )
+        assert r.mapcg_oom_on_large, (
+            f"MapCG must fail on {name}'s dataset #4 (Section VI-C)"
+        )
+    print("\n" + render_table2(rows))

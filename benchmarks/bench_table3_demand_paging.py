@@ -1,0 +1,40 @@
+"""Table III: demand-paging lower-bound transfer time vs SEPO, for PVC.
+
+Asserts the table's structure: zero transfer when everything fits, transfer
+growing as memory shrinks, coarser pages amplifying traffic, and the
+paper's conclusion -- the coarse-page transfer lower bound alone exceeds
+SEPO's *total* time once the table outgrows memory by ~1.5x.
+"""
+
+from conftest import once
+
+from repro.bench.table3 import render_table3, run_table3
+
+
+def test_table3_demand_paging(benchmark, config):
+    rows = once(benchmark, run_table3, config)
+    assert len(rows) == 9
+
+    # Row 1: the table fits -> no paging in any column (paper: 0.00s).
+    assert all(t == 0.0 for t in rows[0].paging_seconds)
+
+    # Column trends: less memory -> monotonically more transfer.
+    for col in range(3):
+        series = [r.paging_seconds[col] for r in rows]
+        assert series == sorted(series)
+
+    # Row trends: coarser pages -> more transfer (each row, once paging).
+    for r in rows[2:]:
+        assert r.paging_seconds[0] > r.paging_seconds[1] > r.paging_seconds[2]
+
+    # SEPO degrades gently while paging explodes: the coarse-page transfer
+    # lower bound exceeds SEPO's total once memory is ~2/3 of the table.
+    for r in rows:
+        ratio = rows[0].memory_bytes / r.memory_bytes
+        if ratio >= 1.5:
+            assert r.paging_seconds[0] > r.sepo_seconds
+            assert r.paging_seconds[1] > r.sepo_seconds
+
+    # SEPO's own degradation stays graceful (paper: 1.22s -> 2.02s).
+    assert rows[-1].sepo_seconds < 5 * rows[0].sepo_seconds
+    print("\n" + render_table3(rows))

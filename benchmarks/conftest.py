@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and figure
+at a reduced default scale (REPRO_BENCH_SCALE=4096) so the whole suite runs
+in minutes; set REPRO_BENCH_SCALE=1024 to match the numbers recorded in
+EXPERIMENTS.md (the shapes are the same, scale-invariance is the point of
+the cost model).
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.bench.config import BenchConfig
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", 4096))
+
+
+@pytest.fixture(scope="session")
+def config():
+    return BenchConfig(scale=BENCH_SCALE)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The experiment drivers are deterministic simulations; statistical
+    repetition would only re-measure the Python harness.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

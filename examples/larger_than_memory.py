@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The headline claim, measured: graceful degradation past GPU memory.
+
+Runs DNA Assembly with a fixed input against progressively smaller devices,
+so the hash table grows from 'fits easily' to more than 4x device memory,
+and prints how SEPO's iteration count and runtime respond -- alongside what
+the two alternative designs (Section VI-D) would pay.
+
+Run:  python examples/larger_than_memory.py
+"""
+
+from repro.apps import DnaAssembly
+from repro.baselines import PinnedHashTable
+from repro.bench.reporting import fmt_seconds, render_table
+
+app = DnaAssembly()
+data = app.generate_input(600_000, seed=1)
+batches = app.batches(data, 64 << 10)
+n_records = sum(len(b) for b in batches)
+print(f"input: {len(data):,} bytes -> {n_records:,} k-mers\n")
+
+cpu = app.run_cpu(data, batches=batches, n_buckets=1 << 12)
+
+rows = []
+for scale in (1 << 11, 1 << 12, 13 << 9, 1 << 13, 11 << 10, 14 << 10):
+    # Each (smaller) device re-partitions the input to fit its staging
+    # buffers -- chunk sizing is a device-side concern.
+    gpu = app.run_gpu(
+        data, scale=scale, n_buckets=1 << 12, group_size=64,
+        page_size=4096, chunk_bytes=64 << 10,
+    )
+    heap = gpu.table.heap.pool.n_slots * gpu.table.heap.page_size
+    ratio = gpu.report.table_bytes / heap
+    rows.append(
+        (
+            f"{heap // 1024} KB",
+            f"{ratio:.1f}x",
+            gpu.iterations,
+            fmt_seconds(gpu.elapsed_seconds),
+            f"{cpu.elapsed_seconds / gpu.elapsed_seconds:.2f}x",
+        )
+    )
+
+print(render_table(
+    ["device heap", "table/heap", "SEPO iterations", "gpu time",
+     "speedup vs CPU"],
+    rows,
+))
+
+pinned = PinnedHashTable(
+    n_buckets=1 << 12, group_size=64, page_size=4096, heap_bytes=1 << 24,
+    chunk_bytes=64 << 10,
+).run(app, data)
+print(f"\nfor contrast (Section VI-D):")
+print(f"  CPU baseline        : {fmt_seconds(cpu.elapsed_seconds)}")
+print(f"  pinned-heap variant : {fmt_seconds(pinned.elapsed_seconds)} "
+      f"({cpu.elapsed_seconds / pinned.elapsed_seconds:.2f}x vs CPU)")
+print("\nSEPO degrades gracefully; the pinned heap pays PCIe on every "
+      "access regardless of table size.")

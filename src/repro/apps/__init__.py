@@ -1,0 +1,52 @@
+"""The seven Big Data analytics applications of Section VI-A.
+
+Standalone (drive the hash table directly):
+
+* :class:`~repro.apps.pvc.PageViewCount` -- combining method
+* :class:`~repro.apps.inverted_index.InvertedIndex` -- multi-valued method
+* :class:`~repro.apps.dna_assembly.DnaAssembly` -- combining method
+* :class:`~repro.apps.netflix.Netflix` -- combining method
+
+MapReduce (run through :mod:`repro.mapreduce`):
+
+* :class:`~repro.apps.wordcount.WordCount` -- MAP_REDUCE mode
+* :class:`~repro.apps.geolocation.GeoLocation` -- MAP_GROUP mode
+* :class:`~repro.apps.patent_citation.PatentCitation` -- MAP_GROUP mode
+
+Each application bundles its workload generator, its parse (map) kernel with
+calibrated cost parameters, a pure-Python reference implementation used by
+the tests, and uniform ``run_gpu`` / ``run_cpu`` entry points.
+"""
+
+from repro.apps.base import Application, MapReduceApplication, RunOutcome
+from repro.apps.dna_assembly import DnaAssembly
+from repro.apps.geolocation import GeoLocation
+from repro.apps.inverted_index import InvertedIndex
+from repro.apps.netflix import Netflix
+from repro.apps.patent_citation import PatentCitation
+from repro.apps.pvc import PageViewCount
+from repro.apps.wordcount import WordCount
+
+ALL_APPS = [
+    InvertedIndex,
+    PageViewCount,
+    DnaAssembly,
+    Netflix,
+    WordCount,
+    PatentCitation,
+    GeoLocation,
+]
+
+__all__ = [
+    "ALL_APPS",
+    "Application",
+    "DnaAssembly",
+    "GeoLocation",
+    "InvertedIndex",
+    "MapReduceApplication",
+    "Netflix",
+    "PageViewCount",
+    "PatentCitation",
+    "RunOutcome",
+    "WordCount",
+]

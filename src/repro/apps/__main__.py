@@ -1,0 +1,136 @@
+"""Run any of the seven applications from the command line.
+
+::
+
+    python -m repro.apps pvc --size 2000000 --device gpu --scale 1024
+    python -m repro.apps wordcount --device cpu --top 10
+    python -m repro.apps inverted-index --device pinned
+
+Prints run telemetry (simulated time, SEPO iterations, table statistics)
+and the top results, and verifies the output against the pure-Python
+reference implementation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import (
+    ALL_APPS,
+    DnaAssembly,
+    GeoLocation,
+    InvertedIndex,
+    Netflix,
+    PageViewCount,
+    PatentCitation,
+    WordCount,
+)
+from repro.baselines.pinned import PinnedHashTable
+from repro.bench.reporting import fmt_bytes, fmt_seconds
+
+APPS = {
+    "pvc": PageViewCount,
+    "inverted-index": InvertedIndex,
+    "dna": DnaAssembly,
+    "netflix": Netflix,
+    "wordcount": WordCount,
+    "geolocation": GeoLocation,
+    "patent-citation": PatentCitation,
+}
+
+
+def _preview(value) -> str:
+    if isinstance(value, list):
+        shown = b", ".join(value[:3])
+        more = f" (+{len(value) - 3} more)" if len(value) > 3 else ""
+        return f"[{shown.decode(errors='replace')}]{more}"
+    return str(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.apps",
+        description="Run one of the paper's seven applications.",
+    )
+    parser.add_argument("app", choices=sorted(APPS))
+    parser.add_argument("--size", type=int, default=500_000,
+                        help="input size in bytes (default 500000)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--device", choices=["gpu", "cpu", "pinned"],
+                        default="gpu")
+    parser.add_argument("--scale", type=int, default=4096,
+                        help="GPU memory shrink factor (default 4096)")
+    parser.add_argument("--buckets", type=int, default=1 << 12)
+    parser.add_argument("--top", type=int, default=5,
+                        help="how many results to print")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the reference-implementation check")
+    parser.add_argument("--timeline", action="store_true",
+                        help="print the per-iteration SEPO timeline (gpu)")
+    args = parser.parse_args(argv)
+
+    app = APPS[args.app]()
+    data = app.generate_input(args.size, seed=args.seed)
+    print(f"{app.name}: {fmt_bytes(len(data))} of input "
+          f"({app.organization} method)")
+
+    if args.device == "gpu":
+        outcome = app.run_gpu(data, scale=args.scale, n_buckets=args.buckets,
+                              page_size=4096)
+    elif args.device == "cpu":
+        outcome = app.run_cpu(data, n_buckets=args.buckets)
+    else:
+        outcome = PinnedHashTable(
+            n_buckets=args.buckets, heap_bytes=1 << 26, page_size=4096,
+        ).run(app, data)
+
+    print(f"device          : {outcome.device}")
+    print(f"simulated time  : {fmt_seconds(outcome.elapsed_seconds)}")
+    print(f"SEPO iterations : {outcome.iterations}")
+    if outcome.breakdown:
+        spent = {k: v for k, v in outcome.breakdown.items() if v > 0}
+        total = sum(spent.values()) or 1.0
+        parts = ", ".join(
+            f"{k} {v / total:.0%}" for k, v in
+            sorted(spent.items(), key=lambda kv: -kv[1])
+        )
+        print(f"time breakdown  : {parts}")
+
+    if args.timeline and args.device == "gpu":
+        from repro.bench.timeline import render_timeline
+
+        print("\n" + render_timeline(outcome.report))
+
+    from repro.core.introspection import collect_stats
+
+    # The CPU baseline wraps the core table; unwrap for introspection.
+    inner = getattr(outcome.table, "table", outcome.table)
+    stats = collect_stats(inner)
+    print(f"table           : {stats.total_entries:,} entries, "
+          f"load factor {stats.load_factor:.2f}, "
+          f"max chain {stats.max_chain_length}")
+
+    output = outcome.output()
+    ranked = sorted(
+        output.items(),
+        key=lambda kv: -(len(kv[1]) if isinstance(kv[1], list) else kv[1]),
+    )[: args.top]
+    print(f"\ntop {len(ranked)} of {len(output):,} keys:")
+    for k, v in ranked:
+        print(f"  {k.decode(errors='replace'):42s} {_preview(v)}")
+
+    if not args.no_verify:
+        ref = app.reference(data)
+        norm = lambda d: {
+            k: sorted(v) if isinstance(v, list) else v for k, v in d.items()
+        }
+        if norm(output) != norm(ref):
+            print("\nERROR: output does not match the reference!")
+            return 1
+        print("\noutput verified against the reference implementation")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

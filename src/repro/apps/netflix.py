@@ -1,0 +1,119 @@
+"""Netflix user-similarity (combining method).
+
+For every pair of users who rated the same movie, insert
+``<userA&userB, similarity contribution>`` and sum contributions across
+movies (the paper's form: "<userA&userB, similarity score between two users
+for a movie>").  The per-movie contribution is ``1 - |rA - rB| / 4`` -- 1.0
+for identical star ratings, 0.0 for opposite extremes.
+
+Pairing is windowed (each rater pairs with the next ``pair_window`` raters
+of the same movie) to keep the pair volume linear in the input, and the
+input partitioner never splits a movie across chunks, so chunked and
+unchunked executions emit identical pair sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.core.combiners import SUM_F64
+from repro.core.records import RecordBatch
+from repro.datagen.ratings import generate_ratings
+
+__all__ = ["Netflix"]
+
+
+class Netflix(Application):
+    name = "Netflix"
+    organization = "combining"
+    combiner = SUM_F64
+    # Pair formation + float math per emitted pair.
+    parse_cycles = 560.0
+    divergence = 1.2
+
+    def __init__(self, pair_window: int = 2, raters_per_movie: int = 24):
+        if pair_window < 1:
+            raise ValueError("pair window must be >= 1")
+        self.pair_window = pair_window
+        self.raters_per_movie = raters_per_movie
+
+    def generate_input(self, size_bytes: int, seed: int = 0) -> bytes:
+        # Distinct user pairs bound table growth; scale the user pool so the
+        # table grows with the dataset (larger datasets need more SEPO
+        # iterations, as in Figure 6).
+        n_users = max(60, int((0.045 * size_bytes) ** 0.5))
+        return generate_ratings(
+            size_bytes,
+            seed=seed,
+            n_users=n_users,
+            raters_per_movie=self.raters_per_movie,
+        )
+
+    # ------------------------------------------------------------------
+    def partition(self, data: bytes, chunk_bytes: int) -> list[bytes]:
+        """Line chunks, then movie groups are kept whole across boundaries."""
+        from repro.bigkernel.partitioner import partition_lines
+
+        rough = partition_lines(data, chunk_bytes)
+        chunks: list[bytes] = []
+        carry = b""
+        for i, chunk in enumerate(rough):
+            chunk = carry + chunk
+            carry = b""
+            if i < len(rough) - 1:
+                # Move the trailing (possibly split) movie group forward.
+                lines = chunk.rstrip(b"\n").split(b"\n")
+                last_movie = lines[-1].split(b",", 1)[0]
+                cut = len(lines)
+                while cut > 0 and lines[cut - 1].split(b",", 1)[0] == last_movie:
+                    cut -= 1
+                if cut == 0:
+                    carry = chunk
+                    continue
+                carry = b"\n".join(lines[cut:]) + b"\n"
+                chunk = b"\n".join(lines[:cut]) + b"\n"
+            chunks.append(chunk)
+        if carry:
+            chunks.append(carry)
+        return [c for c in chunks if c.strip()]
+
+    def _emit_pairs(self, lines: list[bytes]):
+        """Yield (key, contribution) for windowed same-movie user pairs."""
+        group_movie = None
+        group: list[tuple[int, int]] = []
+        w = self.pair_window
+        for line in lines:
+            if not line:
+                continue
+            parts = line.split(b",")
+            if len(parts) != 3:
+                continue  # malformed line: skip, don't crash the job
+            movie, user, stars = parts
+            if movie != group_movie:
+                yield from self._pairs_of(group, w)
+                group_movie, group = movie, []
+            group.append((int(user), int(stars)))
+        yield from self._pairs_of(group, w)
+
+    @staticmethod
+    def _pairs_of(group, w):
+        for i in range(len(group)):
+            ui, ri = group[i]
+            for j in range(i + 1, min(i + 1 + w, len(group))):
+                uj, rj = group[j]
+                a, b = (ui, uj) if ui < uj else (uj, ui)
+                yield b"%d&%d" % (a, b), 1.0 - abs(ri - rj) / 4.0
+
+    def parse_chunk(self, chunk: bytes) -> RecordBatch:
+        keys, vals = [], []
+        for k, v in self._emit_pairs(chunk.split(b"\n")):
+            keys.append(k)
+            vals.append(v)
+        return RecordBatch.from_numeric(keys, np.array(vals, dtype=np.float64))
+
+    def reference(self, data: bytes) -> dict[bytes, float]:
+        out: dict[bytes, float] = {}
+        for k, v in self._emit_pairs(data.split(b"\n")):
+            out[k] = out.get(k, 0.0) + v
+        return out

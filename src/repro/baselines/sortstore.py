@@ -1,0 +1,155 @@
+"""Sort-based KV grouping: the design hash tables replaced.
+
+Section II motivates hash tables against the alternative the early GPU
+MapReduce systems (Mars [6], and the array-based stores MapCG was compared
+to) actually used: append every emitted pair to a flat array, then *sort*
+by key and group in a separate pass.  The paper lists the two overheads
+on-the-fly grouping avoids -- "the overhead of storing multiple copies of
+the same key and the overhead of a separate grouping stage, that typically
+requires the data to first be sorted".  This module implements that design
+so the claim can be measured (see ``bench_ablation_grouping``).
+
+Functionally the store is real: pairs append into numpy staging arrays and
+the grouping pass runs an actual lexicographic sort + segmented reduction.
+Costs are charged as a GPU radix sort over fixed-width key prefixes:
+``RADIX_PASSES`` data-movement passes over the full pair array, plus the
+append and reduction passes.  Like MapCG, the store lives entirely in GPU
+memory and fails when the (duplicate-laden) pair array outgrows it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.combiners import Combiner
+from repro.core.records import RecordBatch
+from repro.core.session import GpuSession
+from repro.gpusim.clock import CostCategory
+from repro.gpusim.device import DeviceSpec, GTX_780TI
+from repro.gpusim.kernel import BatchStats
+
+__all__ = ["SortGroupStore", "SortStoreResult", "StoreOutOfMemory"]
+
+#: an 8-bit-digit LSD radix sort over an 8-byte key prefix
+RADIX_PASSES = 8
+#: ALU cycles per element per radix pass (digit extract + scatter)
+SORT_CYCLES_PER_PASS = 6.0
+
+
+class StoreOutOfMemory(MemoryError):
+    """The pair array outgrew GPU memory (no combining, no postponement)."""
+
+
+@dataclass
+class SortStoreResult:
+    elapsed_seconds: float
+    output: dict[bytes, Any]
+    pair_bytes: int  # footprint of the staged pair array
+    n_pairs: int
+
+
+class SortGroupStore:
+    """Append-then-sort-then-group KV store on the simulated GPU."""
+
+    def __init__(
+        self,
+        combiner: Combiner | None = None,
+        device: DeviceSpec = GTX_780TI,
+        scale: int = 1,
+        chunk_bytes: int = 1 << 20,
+    ):
+        #: with a combiner the reduction collapses groups to scalars
+        #: (Word-Count-like); without one it groups values (Mars MAP_GROUP)
+        self.combiner = combiner
+        self.device = device
+        self.scale = scale
+        self.chunk_bytes = chunk_bytes
+
+    # ------------------------------------------------------------------
+    def run(self, batches: list[RecordBatch]) -> SortStoreResult:
+        session = GpuSession(
+            self.device, self.scale,
+            GpuSession.clamp_chunk(self.device, self.scale, self.chunk_bytes),
+        )
+        budget = session.memory.free
+        session.memory.reserve("pair-array", budget)
+
+        keys: list[bytes] = []
+        payloads: list[Any] = []
+        staged = 0
+        session.pipeline.begin_pass()
+        for batch in batches:
+            before = session.ledger.elapsed
+            n = len(batch)
+            for i in range(n):
+                key = batch.key_bytes(i)
+                keys.append(key)
+                if batch.numeric_values is not None:
+                    payloads.append(batch.numeric_values[i].item())
+                    staged += len(key) + 8
+                else:
+                    value = batch.value_bytes(i)
+                    payloads.append(value)
+                    staged += len(key) + len(value) + 8  # + length headers
+            if staged > budget:
+                raise StoreOutOfMemory(
+                    f"pair array reached {staged} bytes of a {budget}-byte "
+                    "GPU budget; sort-based stores keep every duplicate key"
+                )
+            # Append phase: a coalesced write per pair (atomic bump offset).
+            session.kernel.charge(
+                BatchStats(
+                    n_records=n,
+                    cycles_per_record=batch.parse_cycles + 8.0,
+                    divergence=batch.divergence,
+                    bytes_touched=staged and (staged // max(1, len(keys))) * n,
+                )
+            )
+            session.pipeline.account(
+                batch.input_bytes, session.ledger.elapsed - before
+            )
+
+        output = self._sort_and_group(session, keys, payloads, staged)
+        # Result copyback, as for the hash-table runs.
+        session.bus.bulk(staged)
+        return SortStoreResult(
+            elapsed_seconds=session.ledger.elapsed,
+            output=output,
+            pair_bytes=staged,
+            n_pairs=len(keys),
+        )
+
+    # ------------------------------------------------------------------
+    def _sort_and_group(self, session, keys, payloads, staged):
+        """The separate grouping stage: radix sort + segmented reduction."""
+        n = len(keys)
+        if n == 0:
+            return {}
+        # Real sort: order pairs by key bytes.
+        order = np.argsort(np.array(keys, dtype=object), kind="stable")
+        # Cost: RADIX_PASSES full-array permutation passes ...
+        session.kernel.charge(
+            BatchStats(
+                n_records=n * RADIX_PASSES,
+                cycles_per_record=SORT_CYCLES_PER_PASS,
+                bytes_touched=2 * staged * RADIX_PASSES,
+            ),
+            launches=RADIX_PASSES,
+        )
+        # ... plus one segmented-reduction pass.
+        session.kernel.charge(
+            BatchStats(n_records=n, cycles_per_record=8.0, bytes_touched=staged)
+        )
+        out: dict[bytes, Any] = {}
+        comb = self.combiner
+        for idx in order:
+            k = keys[idx]
+            v = payloads[idx]
+            if comb is not None:
+                out[k] = comb.combine(out[k], v) if k in out else v
+            else:
+                out.setdefault(k, []).append(v)
+        return out

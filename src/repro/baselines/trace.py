@@ -1,0 +1,75 @@
+"""Hash-table access-trace recording.
+
+A :class:`AccessTrace` plugs into :class:`~repro.core.hashtable.GpuHashTable`
+via its ``trace`` hook and records every heap access as ``(address, size)``
+in the stable CPU address space (segment-linear, so addresses are unique and
+durable across evictions).  Traces feed the demand-paging study (Table III)
+and the pinned-memory cost accounting (Figure 7).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import numpy as np
+
+__all__ = ["AccessTrace"]
+
+
+class AccessTrace:
+    """Append-only log of (cpu_addr, nbytes) heap accesses."""
+
+    def __init__(self) -> None:
+        self._addrs = array("q")
+        self._sizes = array("q")
+
+    # -- recording hook (called from the insert hot path) ----------------
+    def on_access(self, cpu_addr: int, nbytes: int) -> None:
+        self._addrs.append(cpu_addr)
+        self._sizes.append(nbytes)
+
+    # -- analysis ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._addrs)
+
+    @property
+    def total_bytes(self) -> int:
+        return int(sum(self._sizes))
+
+    def addresses(self) -> np.ndarray:
+        return np.frombuffer(self._addrs, dtype=np.int64)
+
+    def sizes(self) -> np.ndarray:
+        return np.frombuffer(self._sizes, dtype=np.int64)
+
+    def footprint_bytes(self, page_size: int) -> int:
+        """Bytes of distinct pages ever touched, at ``page_size`` grain."""
+        if len(self) == 0:
+            return 0
+        pages = np.unique(self.page_trace(page_size))
+        return int(len(pages)) * page_size
+
+    def page_trace(self, page_size: int) -> np.ndarray:
+        """The access sequence at page granularity.
+
+        Accesses that straddle a page boundary contribute both pages.
+        """
+        if page_size <= 0:
+            raise ValueError(f"page size must be positive: {page_size}")
+        if len(self) == 0:
+            return np.zeros(0, dtype=np.int64)
+        addrs = self.addresses()
+        sizes = self.sizes().astype(np.int64)
+        first = addrs // page_size
+        last = (addrs + np.maximum(sizes, 1) - 1) // page_size
+        straddlers = np.flatnonzero(last != first)
+        if straddlers.size == 0:
+            return first
+        # Interleave the second page right after each straddling access.
+        out = np.empty(len(first) + len(straddlers), dtype=np.int64)
+        positions = straddlers + np.arange(1, len(straddlers) + 1)
+        mask = np.ones(len(out), dtype=bool)
+        mask[positions] = False
+        out[mask] = first
+        out[positions] = last[straddlers]
+        return out

@@ -1,0 +1,225 @@
+"""Ablations for the design choices the paper calls out.
+
+* **Halt threshold** (Section IV-C, footnote 5): the basic method stops the
+  computation when 50% of bucket groups fail to allocate.  Sweeping the
+  threshold shows the trade-off: halting early wastes heap capacity (more
+  iterations), halting late makes late-pass kernels churn through postponed
+  records.
+* **Bucket-group size** (Section IV-A): fewer, larger groups reduce
+  fragmentation but concentrate allocator contention; the library exposes
+  the knob "to balance this trade-off".
+* **Word Count vocabulary** (Section VI-B): "when we artificially increased
+  the number of distinct keys in the input dataset of Word Count ...
+  performance quickly improved".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.pvc import PageViewCount
+from repro.apps.wordcount import WordCount
+from repro.bench.config import BenchConfig
+from repro.bench.reporting import fmt_bytes, fmt_seconds, render_table
+from repro.core.organizations import BasicOrganization
+from repro.core.records import RecordBatch
+from repro.core.session import GpuSession
+from repro.gpusim.device import GTX_780TI
+
+__all__ = [
+    "run_threshold_ablation",
+    "run_bucket_group_ablation",
+    "run_vocab_ablation",
+    "render_threshold_ablation",
+    "render_bucket_group_ablation",
+    "render_vocab_ablation",
+]
+
+
+# ----------------------------------------------------------------------
+# halt threshold (basic method)
+# ----------------------------------------------------------------------
+@dataclass
+class ThresholdPoint:
+    threshold: float
+    seconds: float
+    iterations: int
+
+
+class _BasicPvc(PageViewCount):
+    """PVC storing raw <url, 1> pairs with the basic method (no combining):
+    the workload shape the paper's basic-method policy is designed for."""
+
+    name = "PVC (basic method)"
+    organization = "basic"
+
+    def __init__(self, halt_threshold: float = 0.5, **kwargs):
+        super().__init__(**kwargs)
+        self.halt_threshold = halt_threshold
+
+    def make_organization(self):
+        return BasicOrganization(halt_threshold=self.halt_threshold)
+
+    def parse_chunk(self, chunk: bytes) -> RecordBatch:
+        batch = super().parse_chunk(chunk)
+        n = len(batch)
+        return RecordBatch(
+            keys=batch.keys,
+            key_lens=batch.key_lens,
+            values=np.ones((n, 1), dtype=np.uint8),
+            val_lens=np.ones(n, dtype=np.int32),
+        )
+
+
+def run_threshold_ablation(
+    config: BenchConfig | None = None,
+    thresholds=(0.1, 0.25, 0.5, 0.75, 0.95),
+    dataset: int = 3,
+) -> list[ThresholdPoint]:
+    config = config or BenchConfig()
+    size = config.dataset_bytes("Page View Count", dataset)
+    points = []
+    for th in thresholds:
+        app = _BasicPvc(halt_threshold=th)
+        data = app.generate_input(size, seed=config.seed)
+        out = app.run_gpu(data, **config.gpu_kwargs())
+        points.append(
+            ThresholdPoint(
+                threshold=th,
+                seconds=out.elapsed_seconds,
+                iterations=out.iterations,
+            )
+        )
+    return points
+
+
+def render_threshold_ablation(points: list[ThresholdPoint]) -> str:
+    table = render_table(
+        ["halt threshold", "time", "iterations"],
+        [(f"{p.threshold:.0%}", fmt_seconds(p.seconds), p.iterations)
+         for p in points],
+    )
+    return (
+        "Ablation: basic-method halt threshold (Section IV-C footnote 5; "
+        "the paper uses 50%)\n\n" + table
+    )
+
+
+# ----------------------------------------------------------------------
+# bucket-group size
+# ----------------------------------------------------------------------
+@dataclass
+class GroupSizePoint:
+    group_size: int
+    n_groups: int
+    seconds: float
+    fragmented_bytes: int
+    iterations: int
+
+
+def run_bucket_group_ablation(
+    config: BenchConfig | None = None,
+    group_sizes=(16, 64, 256, 1024, 4096),
+    dataset: int = 3,
+) -> list[GroupSizePoint]:
+    config = config or BenchConfig()
+    app = PageViewCount()
+    data = app.generate_input(
+        config.dataset_bytes(app.name, dataset), seed=config.seed
+    )
+    chunk = GpuSession.clamp_chunk(GTX_780TI, config.scale, config.chunk_bytes)
+    batches = app.batches(data, chunk)
+    points = []
+    for gs in group_sizes:
+        out = app.run_gpu(
+            data,
+            batches=batches,
+            scale=config.scale,
+            n_buckets=config.n_buckets,
+            group_size=gs,
+            page_size=config.page_size,
+        )
+        points.append(
+            GroupSizePoint(
+                group_size=gs,
+                n_groups=out.table.buckets.n_groups,
+                seconds=out.elapsed_seconds,
+                fragmented_bytes=out.table.heap.fragmented_bytes,
+                iterations=out.iterations,
+            )
+        )
+    return points
+
+
+def render_bucket_group_ablation(points: list[GroupSizePoint]) -> str:
+    table = render_table(
+        ["group size", "groups", "time", "fragmentation", "iterations"],
+        [
+            (p.group_size, p.n_groups, fmt_seconds(p.seconds),
+             fmt_bytes(p.fragmented_bytes), p.iterations)
+            for p in points
+        ],
+    )
+    return (
+        "Ablation: bucket-group size (Section IV-A trade-off: allocator "
+        "contention vs fragmentation)\n\n" + table
+    )
+
+
+# ----------------------------------------------------------------------
+# Word Count vocabulary
+# ----------------------------------------------------------------------
+@dataclass
+class VocabPoint:
+    vocab_size: int
+    gpu_seconds: float
+    cpu_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.cpu_seconds / self.gpu_seconds
+
+
+def run_vocab_ablation(
+    config: BenchConfig | None = None,
+    vocab_sizes=(500, 3500, 20_000, 100_000),
+    dataset: int = 3,
+) -> list[VocabPoint]:
+    config = config or BenchConfig()
+    points = []
+    for v in vocab_sizes:
+        app = WordCount(vocab_size=v)
+        data = app.generate_input(
+            config.dataset_bytes(app.name, dataset), seed=config.seed
+        )
+        chunk = GpuSession.clamp_chunk(
+            GTX_780TI, config.scale, config.chunk_bytes
+        )
+        batches = app.batches(data, chunk)
+        gpu = app.run_gpu(data, batches=batches, **config.gpu_kwargs())
+        cpu = app.run_cpu(data, batches=batches, **config.cpu_kwargs())
+        points.append(
+            VocabPoint(
+                vocab_size=v,
+                gpu_seconds=gpu.elapsed_seconds,
+                cpu_seconds=cpu.elapsed_seconds,
+            )
+        )
+    return points
+
+
+def render_vocab_ablation(points: list[VocabPoint]) -> str:
+    table = render_table(
+        ["vocabulary", "gpu", "cpu", "speedup"],
+        [
+            (f"{p.vocab_size:,}", fmt_seconds(p.gpu_seconds),
+             fmt_seconds(p.cpu_seconds), f"{p.speedup:.2f}x")
+            for p in points
+        ],
+    )
+    return (
+        "Ablation: Word Count distinct-key count (Section VI-B: more "
+        "distinct keys -> less lock contention -> GPU recovers)\n\n" + table
+    )

@@ -1,0 +1,78 @@
+"""Experiment configuration and scaling.
+
+The paper's testbed has 3 GiB of GPU memory and processes 0.2-8 GB inputs
+(Table I).  We shrink *everything bytes-shaped* by one common ``scale``
+factor -- device memory, dataset sizes, bucket count -- which preserves the
+table-size : device-memory ratios that drive SEPO iteration counts, while
+the throughput-shaped device parameters stay calibrated to the real
+hardware, so speedup ratios are preserved.
+
+``REPRO_SCALE`` in the environment overrides the default (e.g. set
+``REPRO_SCALE=2048`` for quicker, coarser runs, or ``256`` for bigger ones).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+__all__ = ["BenchConfig", "PAPER_DATASETS_GB", "DEFAULT_SCALE"]
+
+GB = 1_000_000_000
+
+#: Table I of the paper: the four input dataset sizes per application.
+PAPER_DATASETS_GB: dict[str, tuple[float, float, float, float]] = {
+    "Inverted Index": (2.0, 3.0, 4.0, 5.0),
+    "Page View Count": (0.6, 2.2, 3.8, 5.8),
+    "DNA Assembly": (2.0, 4.0, 6.0, 8.0),
+    "Netflix": (1.6, 3.2, 4.8, 6.4),
+    "Word Count": (0.2, 2.0, 3.0, 4.0),
+    "Patent Citation": (0.2, 2.0, 3.4, 4.8),
+    "Geo Location": (0.2, 1.8, 3.2, 5.0),
+}
+
+DEFAULT_SCALE = 1024
+
+
+def _env_scale() -> int:
+    return int(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))
+
+
+@dataclass
+class BenchConfig:
+    """Shared knobs for every experiment driver."""
+
+    scale: int = field(default_factory=_env_scale)
+    seed: int = 0
+    group_size: int = 256
+    page_size: int = 4 << 10
+    chunk_bytes: int = 1 << 20  # clamped per session to the scaled device
+    #: bucket count at scale 1 (the paper allocates the array generously)
+    n_buckets_unscaled: int = 1 << 23
+
+    def __post_init__(self) -> None:
+        if self.scale < 1:
+            raise ValueError(f"scale must be >= 1: {self.scale}")
+
+    @property
+    def n_buckets(self) -> int:
+        return max(1 << 10, self.n_buckets_unscaled // self.scale)
+
+    def dataset_bytes(self, app_name: str, dataset: int) -> int:
+        """Scaled size of Table I's dataset #``dataset`` (1-based)."""
+        sizes = PAPER_DATASETS_GB[app_name]
+        if not 1 <= dataset <= len(sizes):
+            raise ValueError(f"dataset index {dataset} out of range 1..4")
+        return int(sizes[dataset - 1] * GB / self.scale)
+
+    def gpu_kwargs(self) -> dict:
+        return dict(
+            scale=self.scale,
+            n_buckets=self.n_buckets,
+            group_size=self.group_size,
+            page_size=self.page_size,
+            chunk_bytes=self.chunk_bytes,
+        )
+
+    def cpu_kwargs(self) -> dict:
+        return dict(n_buckets=self.n_buckets, group_size=self.group_size)

@@ -1,0 +1,66 @@
+"""Table I: the input dataset sizes used in the experiments.
+
+Regenerates the paper's table alongside the *scaled* sizes this
+reproduction actually feeds the applications, plus generator statistics
+(record counts) so EXPERIMENTS.md can document the workloads precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import ALL_APPS
+from repro.bench.config import BenchConfig, PAPER_DATASETS_GB
+from repro.bench.reporting import fmt_bytes, render_table
+
+__all__ = ["run_table1", "render_table1", "Table1Row"]
+
+
+@dataclass
+class Table1Row:
+    app: str
+    paper_gb: tuple[float, float, float, float]
+    scaled_bytes: tuple[int, int, int, int]
+    records_d1: int
+
+
+def run_table1(config: BenchConfig | None = None) -> list[Table1Row]:
+    config = config or BenchConfig()
+    rows = []
+    for cls in ALL_APPS:
+        app = cls()
+        sizes = tuple(
+            config.dataset_bytes(app.name, d) for d in (1, 2, 3, 4)
+        )
+        data = app.generate_input(sizes[0], seed=config.seed)
+        records = sum(len(b) for b in app.batches(data, 1 << 20))
+        rows.append(
+            Table1Row(
+                app=app.name,
+                paper_gb=PAPER_DATASETS_GB[app.name],
+                scaled_bytes=sizes,
+                records_d1=records,
+            )
+        )
+    return rows
+
+
+def render_table1(rows: list[Table1Row], scale: int) -> str:
+    body = [
+        (
+            r.app,
+            *(f"{gb:.1f}GB" for gb in r.paper_gb),
+            *(fmt_bytes(b) for b in r.scaled_bytes),
+            f"{r.records_d1:,}",
+        )
+        for r in rows
+    ]
+    table = render_table(
+        ["application", "paper#1", "paper#2", "paper#3", "paper#4",
+         "ours#1", "ours#2", "ours#3", "ours#4", "records@#1"],
+        body,
+    )
+    return (
+        f"Table I: input dataset sizes (paper vs this reproduction, "
+        f"scale=1/{scale})\n\n{table}"
+    )

@@ -1,0 +1,53 @@
+"""Machine-readable export of experiment results.
+
+Every driver's dataclass rows serialize to JSON (for plotting or regression
+tracking across runs); ``python -m repro.bench fig6 --json out.json`` writes
+alongside the rendered text.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+__all__ = ["rows_to_json", "write_json"]
+
+
+def _encode(obj: Any) -> Any:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = dataclasses.asdict(obj)
+        # Include computed properties (speedup etc.) for convenience.
+        for name in dir(type(obj)):
+            attr = getattr(type(obj), name, None)
+            if isinstance(attr, property):
+                try:
+                    out[name] = getattr(obj, name)
+                except Exception:  # pragma: no cover - defensive
+                    pass
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [_encode(o) for o in obj]
+    if isinstance(obj, dict):
+        return {str(k): _encode(v) for k, v in obj.items()}
+    if isinstance(obj, bytes):
+        return obj.decode("utf-8", errors="replace")
+    return obj
+
+
+def rows_to_json(experiment: str, rows: Any, scale: int, seed: int) -> str:
+    """Serialize one experiment's result rows to a JSON document."""
+    doc = {
+        "experiment": experiment,
+        "scale": scale,
+        "seed": seed,
+        "rows": _encode(rows),
+    }
+    return json.dumps(doc, indent=2, default=str)
+
+
+def write_json(path: str, experiment: str, rows: Any, scale: int,
+               seed: int) -> None:
+    with open(path, "w") as fh:
+        fh.write(rows_to_json(experiment, rows, scale, seed))
+        fh.write("\n")

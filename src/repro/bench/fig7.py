@@ -1,0 +1,107 @@
+"""Figure 7: SEPO vs the pinned-CPU-memory hash table, largest dataset.
+
+For each application's dataset #4, three runs: the CPU baseline, the SEPO
+table, and the pinned-heap variant.  The figure reports both GPU variants'
+speedups relative to the CPU baseline.  The paper's headline observations,
+checked by the benchmark's assertions:
+
+* SEPO significantly outperforms the pinned heap for every application,
+  despite needing multiple iterations;
+* the pinned variant is *slower than the CPU baseline* for a majority of
+  the applications (4 of 7 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import ALL_APPS
+from repro.baselines.pinned import PinnedHashTable
+from repro.bench.config import BenchConfig
+from repro.bench.reporting import fmt_seconds, render_bars, render_table
+from repro.core.session import GpuSession
+from repro.gpusim.device import GTX_780TI
+
+__all__ = ["run_fig7", "render_fig7", "Fig7Row"]
+
+
+@dataclass
+class Fig7Row:
+    app: str
+    cpu_seconds: float
+    sepo_seconds: float
+    pinned_seconds: float
+    sepo_iterations: int
+
+    @property
+    def sepo_speedup(self) -> float:
+        return self.cpu_seconds / self.sepo_seconds
+
+    @property
+    def pinned_speedup(self) -> float:
+        return self.cpu_seconds / self.pinned_seconds
+
+
+def run_fig7(
+    config: BenchConfig | None = None, dataset: int = 4
+) -> list[Fig7Row]:
+    config = config or BenchConfig()
+    rows = []
+    for cls in ALL_APPS:
+        app = cls()
+        data = app.generate_input(
+            config.dataset_bytes(app.name, dataset), config.seed
+        )
+        chunk = GpuSession.clamp_chunk(GTX_780TI, config.scale, config.chunk_bytes)
+        batches = app.batches(data, chunk)
+        cpu = app.run_cpu(data, batches=batches, **config.cpu_kwargs())
+        sepo = app.run_gpu(data, batches=batches, **config.gpu_kwargs())
+        pinned = PinnedHashTable(
+            n_buckets=config.n_buckets,
+            group_size=config.group_size,
+            page_size=config.page_size,
+            heap_bytes=1 << 28,
+            chunk_bytes=chunk,
+        ).run(app, data)
+        rows.append(
+            Fig7Row(
+                app=app.name,
+                cpu_seconds=cpu.elapsed_seconds,
+                sepo_seconds=sepo.elapsed_seconds,
+                pinned_seconds=pinned.elapsed_seconds,
+                sepo_iterations=sepo.iterations,
+            )
+        )
+    return rows
+
+
+def render_fig7(rows: list[Fig7Row]) -> str:
+    labels, values, notes = [], [], []
+    for r in rows:
+        labels += [f"{r.app} (SEPO)", f"{r.app} (pinned)"]
+        values += [r.sepo_speedup, r.pinned_speedup]
+        notes += [f"{r.sepo_iterations} iter", "1 pass"]
+    bars = render_bars(labels, values, annotations=notes)
+    body = [
+        (
+            r.app,
+            fmt_seconds(r.cpu_seconds),
+            fmt_seconds(r.sepo_seconds),
+            fmt_seconds(r.pinned_seconds),
+            f"{r.sepo_speedup:.2f}x",
+            f"{r.pinned_speedup:.2f}x",
+        )
+        for r in rows
+    ]
+    table = render_table(
+        ["application", "cpu", "sepo", "pinned", "sepo-speedup",
+         "pinned-speedup"],
+        body,
+    )
+    slower = sum(1 for r in rows if r.pinned_speedup < 1.0)
+    return (
+        "Figure 7: speedups vs CPU baseline, dataset #4 "
+        "(SEPO table vs pinned-CPU-memory heap)\n\n"
+        f"{bars}\n\npinned slower than the CPU baseline for {slower} of "
+        f"{len(rows)} applications (paper: 4 of 7)\n\n{table}"
+    )

@@ -1,0 +1,76 @@
+"""Plain-text rendering of tables and bar charts for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_bars", "fmt_seconds", "fmt_bytes"]
+
+
+def fmt_seconds(s: float) -> str:
+    if s == 0:
+        return "0.00s"
+    if s < 1e-3:
+        return f"{s * 1e6:.1f}us"
+    if s < 1:
+        return f"{s * 1e3:.2f}ms"
+    return f"{s:.2f}s"
+
+
+def fmt_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024 or unit == "GB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024
+    raise AssertionError("unreachable")
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Monospace table with right-aligned numeric-looking columns."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def is_numeric(col: int) -> bool:
+        body = [r[col] for r in cells[1:]]
+        return bool(body) and all(
+            c.replace(".", "").replace("-", "").replace("x", "")
+            .replace("s", "").replace("u", "").replace("m", "")
+            .replace("%", "").replace("K", "").replace("M", "")
+            .replace("G", "").replace("B", "").isdigit() or c == ""
+            for c in body
+        )
+
+    aligns = [is_numeric(i) for i in range(len(headers))]
+
+    def fmt_row(row: list[str]) -> str:
+        return "  ".join(
+            c.rjust(w) if aligns[i] else c.ljust(w)
+            for i, (c, w) in enumerate(zip(row, widths))
+        ).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt_row(cells[0]), sep] + [fmt_row(r) for r in cells[1:]])
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    annotations: Sequence[str] | None = None,
+    width: int = 42,
+    unit: str = "x",
+) -> str:
+    """Horizontal ASCII bar chart (Figure 6 / Figure 7 style)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if annotations is not None and len(annotations) != len(values):
+        raise ValueError("annotations must align with values")
+    vmax = max(values, default=0.0)
+    if vmax <= 0:
+        vmax = 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    lines = []
+    for i, (label, value) in enumerate(zip(labels, values)):
+        bar = "#" * max(1 if value > 0 else 0, round(value / vmax * width))
+        note = f"  [{annotations[i]}]" if annotations is not None else ""
+        lines.append(f"{label.rjust(label_w)} |{bar} {value:.2f}{unit}{note}")
+    return "\n".join(lines)

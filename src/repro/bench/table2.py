@@ -1,0 +1,94 @@
+"""Table II: speedups of our MapReduce runtime over MapCG.
+
+As in Section VI-C, only the smallest dataset is used -- MapCG hard-fails on
+anything whose table outgrows GPU memory -- so SEPO is effectively inactive
+and the comparison isolates the basic table design (allocation +
+synchronization).  The driver also demonstrates the failure itself: it runs
+MapCG on dataset #2 and reports the :class:`GpuOutOfMemory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import GeoLocation, PatentCitation, WordCount
+from repro.bench.config import BenchConfig
+from repro.bench.reporting import fmt_seconds, render_table
+from repro.mapreduce import GpuOutOfMemory, MapCGRuntime, MapReduceRuntime
+
+__all__ = ["run_table2", "render_table2", "Table2Row"]
+
+#: Paper's Table II values for side-by-side reporting.
+PAPER_TABLE2 = {
+    "Word Count": 1.05,
+    "Patent Citation": 2.42,
+    "Geo Location": 2.55,
+}
+
+MR_APPS = [WordCount, PatentCitation, GeoLocation]
+
+
+@dataclass
+class Table2Row:
+    app: str
+    ours_seconds: float
+    mapcg_seconds: float
+    paper_speedup: float
+    mapcg_oom_on_large: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.mapcg_seconds / self.ours_seconds
+
+
+def run_table2(config: BenchConfig | None = None) -> list[Table2Row]:
+    config = config or BenchConfig()
+    kwargs = dict(
+        scale=config.scale,
+        n_buckets=config.n_buckets,
+        group_size=config.group_size,
+        page_size=config.page_size,
+    )
+    rows = []
+    for cls in MR_APPS:
+        app = cls()
+        job = app.make_job()
+        small = app.generate_input(config.dataset_bytes(app.name, 1), config.seed)
+        ours = MapReduceRuntime(job, **kwargs).run(small)
+        mapcg = MapCGRuntime(job, **kwargs).run(small)
+        # Section VI-C: MapCG cannot process the larger datasets at all.
+        large = app.generate_input(config.dataset_bytes(app.name, 4), config.seed)
+        try:
+            MapCGRuntime(job, **kwargs).run(large)
+            oom = False
+        except GpuOutOfMemory:
+            oom = True
+        rows.append(
+            Table2Row(
+                app=app.name,
+                ours_seconds=ours.elapsed_seconds,
+                mapcg_seconds=mapcg.elapsed_seconds,
+                paper_speedup=PAPER_TABLE2[app.name],
+                mapcg_oom_on_large=oom,
+            )
+        )
+    return rows
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    body = [
+        (
+            r.app,
+            fmt_seconds(r.ours_seconds),
+            fmt_seconds(r.mapcg_seconds),
+            f"{r.speedup:.2f}x",
+            f"{r.paper_speedup:.2f}x",
+            "fails (OOM)" if r.mapcg_oom_on_large else "runs",
+        )
+        for r in rows
+    ]
+    table = render_table(
+        ["application", "ours", "MapCG", "speedup", "paper", "MapCG@dataset#4"],
+        body,
+    )
+    return "Table II: speedups over MapCG (smallest datasets)\n\n" + table

@@ -1,0 +1,17 @@
+"""BigKernel-style input pipelining (the paper's reference [10]).
+
+The applications stream their "big" input through GPU memory in chunks, and
+BigKernel overlaps the PCIe transfer of chunk *i+1* with the kernel that
+processes chunk *i*.  SEPO re-reads the input on every iteration, so this
+overlap matters even more here than in the original system -- "input data
+may be transferred to GPU memory multiple times" (Section VI-A).
+
+:mod:`.partitioner` provides the *input data partitioner* role from the
+MapReduce runtime (Section V): it slices raw inputs into chunks at record
+boundaries.  :mod:`.pipeline` accounts the overlap.
+"""
+
+from repro.bigkernel.partitioner import partition_lines, partition_sequence
+from repro.bigkernel.pipeline import BigKernelPipeline
+
+__all__ = ["BigKernelPipeline", "partition_lines", "partition_sequence"]

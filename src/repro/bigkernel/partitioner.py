@@ -1,0 +1,52 @@
+"""Input data partitioners.
+
+The MapReduce runtime (Section V) asks the application programmer for an
+*input data partitioner* that splits raw input into chunks ready for the map
+instances.  These helpers cover the two shapes all seven applications use:
+newline-delimited byte streams and pre-tokenized record sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["partition_lines", "partition_sequence"]
+
+
+def partition_lines(data: bytes, chunk_bytes: int) -> list[bytes]:
+    """Split a newline-delimited byte stream into ~``chunk_bytes`` chunks.
+
+    Chunks always end on a record (newline) boundary so that no record is
+    torn across two map instances.  The final chunk keeps any unterminated
+    tail line.
+    """
+    if chunk_bytes <= 0:
+        raise ValueError(f"chunk size must be positive: {chunk_bytes}")
+    chunks: list[bytes] = []
+    pos = 0
+    n = len(data)
+    while pos < n:
+        end = min(pos + chunk_bytes, n)
+        if end < n:
+            nl = data.rfind(b"\n", pos, end)
+            if nl == -1:
+                # A single record longer than the chunk: extend forward.
+                nl = data.find(b"\n", end)
+                end = n if nl == -1 else nl + 1
+            else:
+                end = nl + 1
+        chunks.append(data[pos:end])
+        pos = end
+    return chunks
+
+
+def partition_sequence(records: Sequence[T], records_per_chunk: int) -> list[Sequence[T]]:
+    """Split a record sequence into fixed-count chunks (order-preserving)."""
+    if records_per_chunk <= 0:
+        raise ValueError(f"records per chunk must be positive: {records_per_chunk}")
+    return [
+        records[i : i + records_per_chunk]
+        for i in range(0, len(records), records_per_chunk)
+    ]

@@ -1,0 +1,98 @@
+"""The paper's contribution: the SEPO model and the GPU hash table.
+
+Public API tour
+---------------
+
+* :class:`~repro.core.hashtable.GpuHashTable` -- the larger-than-memory
+  chained hash table (Section IV), configured with one of the three bucket
+  organizations from :mod:`~repro.core.organizations`.
+* :class:`~repro.core.sepo.SepoDriver` -- the requestor-side iteration loop
+  (Section III / Figure 5) that processes a batched input to completion,
+  reissuing postponed inserts.
+* :mod:`~repro.core.combiners` -- the combining method's reduction callbacks.
+* :class:`~repro.core.bitmap.PendingBitmap` -- one pending bit per record.
+* :mod:`~repro.core.lookup` -- SEPO lookups over a finished table (the
+  paper's "mental exercise" extension).
+"""
+
+from repro.core.bitmap import PendingBitmap
+from repro.core.buckets import BucketArray
+from repro.core.checkpoint import FrozenTable, load_table, save_table
+from repro.core.introspection import TableStats, collect_stats
+from repro.core.lookup import LookupDriver, LookupResult
+from repro.core.planning import PlanEstimate, StreamStats, plan
+from repro.core.combiners import (
+    BITOR_U64,
+    BitOrCombiner,
+    CallbackCombiner,
+    Combiner,
+    MAX_I64,
+    MaxCombiner,
+    MIN_I64,
+    MinCombiner,
+    SUM_F64,
+    SUM_I64,
+    SumCombiner,
+)
+from repro.core.hashing import fnv1a, fnv1a_batch
+from repro.core.hashtable import GpuHashTable, InsertResult
+from repro.core.organizations import (
+    BasicOrganization,
+    CombiningOrganization,
+    EvictionReport,
+    MultiValuedOrganization,
+    Organization,
+)
+from repro.core.records import RecordBatch, pack_byte_rows, pack_str_keys
+from repro.core.sepo import (
+    IterationRecord,
+    NoProgressError,
+    SepoDriver,
+    SepoReport,
+    Status,
+    postponement_profitable,
+)
+
+__all__ = [
+    "BITOR_U64",
+    "BasicOrganization",
+    "BitOrCombiner",
+    "BucketArray",
+    "CallbackCombiner",
+    "Combiner",
+    "CombiningOrganization",
+    "EvictionReport",
+    "FrozenTable",
+    "GpuHashTable",
+    "InsertResult",
+    "IterationRecord",
+    "LookupDriver",
+    "LookupResult",
+    "MAX_I64",
+    "MIN_I64",
+    "MaxCombiner",
+    "MinCombiner",
+    "MultiValuedOrganization",
+    "NoProgressError",
+    "Organization",
+    "PendingBitmap",
+    "PlanEstimate",
+    "RecordBatch",
+    "StreamStats",
+    "TableStats",
+    "collect_stats",
+    "plan",
+    "SUM_F64",
+    "SUM_I64",
+    "SepoDriver",
+    "SepoReport",
+    "Status",
+    "SumCombiner",
+    "fnv1a",
+    "fnv1a_batch",
+    "load_table",
+    "pack_byte_rows",
+    "pack_str_keys",
+    "postponement_profitable",
+    "save_table",
+]

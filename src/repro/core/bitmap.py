@@ -1,0 +1,70 @@
+"""Pending-record bitmap.
+
+SEPO requires the requestor to "track requests that have been declined and
+then reissue these postponed requests at a later time" (Section I).  The
+paper, and this reproduction, use a bitmap with one bit per input record
+(Section III-B): a set bit means the record still needs processing.
+
+The bitmap is numpy-backed so that per-iteration scans ("which records in
+this chunk are still pending?") are vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PendingBitmap"]
+
+
+class PendingBitmap:
+    """One pending bit per input record; starts all-pending."""
+
+    def __init__(self, n_records: int):
+        if n_records < 0:
+            raise ValueError(f"negative record count: {n_records}")
+        self.n_records = n_records
+        self._pending = np.ones(n_records, dtype=bool)
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Footprint of the real bitmap (one *bit* per record)."""
+        return (self.n_records + 7) // 8
+
+    @property
+    def pending_count(self) -> int:
+        return int(self._pending.sum())
+
+    def any_pending(self) -> bool:
+        return bool(self._pending.any())
+
+    def first_pending(self) -> int | None:
+        """Index of the first pending record (where iterations resume)."""
+        idx = np.flatnonzero(self._pending)
+        return int(idx[0]) if idx.size else None
+
+    # ------------------------------------------------------------------
+    def mark_done(self, indices: np.ndarray) -> None:
+        """Clear the pending bit of the given (global) record indices."""
+        self._check(indices)
+        self._pending[indices] = False
+
+    def mark_pending(self, indices: np.ndarray) -> None:
+        self._check(indices)
+        self._pending[indices] = True
+
+    def is_pending(self, index: int) -> bool:
+        return bool(self._pending[index])
+
+    def pending_in(self, start: int, stop: int) -> np.ndarray:
+        """Global indices of pending records within ``[start, stop)``."""
+        if not 0 <= start <= stop <= self.n_records:
+            raise ValueError(f"range [{start}, {stop}) out of bounds")
+        return start + np.flatnonzero(self._pending[start:stop])
+
+    def _check(self, indices: np.ndarray) -> None:
+        if len(indices) == 0:
+            return
+        indices = np.asarray(indices)
+        if indices.min() < 0 or indices.max() >= self.n_records:
+            raise IndexError("record index out of range")

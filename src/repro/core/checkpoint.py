@@ -1,0 +1,239 @@
+"""Persisting finished tables.
+
+The dual-pointer design makes the finished table a *CPU-side data
+structure*: bucket heads (`head_cpu`) plus the segment store, linked by
+never-reused segment addresses.  That structure serializes as-is -- no
+pointer rewriting -- and loads back as a read-only :class:`FrozenTable`
+that supports the same CPU-side traversals (``cpu_items``, ``result``,
+single-key ``get``) without any GPU machinery.
+
+Format: an ``.npz`` archive holding the bucket heads, the segment id/byte
+arrays, and a JSON metadata record (organization kind, combiner descriptor,
+page size).  Only the library's named combiners round-trip; tables built
+with ad-hoc :func:`~repro.core.combiners.CallbackCombiner` callbacks refuse
+to save (the callable cannot be serialized faithfully).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core import entries as E
+from repro.core.combiners import (
+    BitOrCombiner,
+    Combiner,
+    MaxCombiner,
+    MinCombiner,
+    SumCombiner,
+)
+from repro.core.hashtable import GpuHashTable
+from repro.core.hashing import fnv1a
+from repro.core.organizations import (
+    CombiningOrganization,
+    MultiValuedOrganization,
+)
+from repro.memalloc.address import NULL
+
+__all__ = ["save_table", "load_table", "FrozenTable", "CheckpointError"]
+
+FORMAT_VERSION = 1
+
+_COMBINER_FACTORIES = {
+    "sum": SumCombiner,
+    "max": MaxCombiner,
+    "min": MinCombiner,
+    "bitor": lambda scalar: BitOrCombiner(),
+}
+
+
+class CheckpointError(RuntimeError):
+    """The table cannot be (de)serialized."""
+
+
+def _org_kind(table: GpuHashTable) -> str:
+    return table.org.kind
+
+
+def save_table(table: GpuHashTable, path) -> None:
+    """Serialize a table's CPU-side structure to ``path`` (.npz)."""
+    combiner_meta = None
+    if isinstance(table.org, CombiningOrganization):
+        comb = table.org.combiner
+        if comb.name not in _COMBINER_FACTORIES:
+            raise CheckpointError(
+                f"combiner {comb.name!r} is a runtime callback and cannot "
+                "be serialized; finalize with .result() instead"
+            )
+        combiner_meta = {"name": comb.name, "scalar": comb.scalar}
+
+    heap = table.heap
+    # Snapshot every segment (resident pages included) without mutating.
+    segments = sorted(
+        {p.segment for p in heap.resident_pages} | set(heap._store)
+    )
+    seg_data = np.zeros((len(segments), heap.page_size), dtype=np.uint8)
+    for row, seg in enumerate(segments):
+        seg_data[row] = heap.segment_view(seg)
+
+    meta = {
+        "version": FORMAT_VERSION,
+        "organization": _org_kind(table),
+        "combiner": combiner_meta,
+        "page_size": heap.page_size,
+        "n_buckets": table.buckets.n_buckets,
+        "total_inserted": table.total_inserted,
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        head_cpu=table.buckets.head_cpu,
+        segment_ids=np.asarray(segments, dtype=np.int64),
+        segment_data=seg_data,
+    )
+
+
+def load_table(path) -> "FrozenTable":
+    """Load a serialized table as a read-only :class:`FrozenTable`."""
+    with np.load(path) as archive:
+        try:
+            meta = json.loads(bytes(archive["meta"]).decode())
+            head_cpu = archive["head_cpu"]
+            segment_ids = archive["segment_ids"]
+            segment_data = archive["segment_data"]
+        except KeyError as exc:
+            raise CheckpointError(f"missing field in checkpoint: {exc}")
+    if meta.get("version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {meta.get('version')!r}"
+        )
+    combiner = None
+    if meta["combiner"] is not None:
+        factory = _COMBINER_FACTORIES[meta["combiner"]["name"]]
+        combiner = factory(meta["combiner"]["scalar"])
+    return FrozenTable(
+        organization=meta["organization"],
+        combiner=combiner,
+        page_size=int(meta["page_size"]),
+        head_cpu=head_cpu,
+        segments={
+            int(seg): segment_data[row]
+            for row, seg in enumerate(segment_ids)
+        },
+        total_inserted=int(meta["total_inserted"]),
+    )
+
+
+class FrozenTable:
+    """Read-only CPU-side view of a persisted table."""
+
+    def __init__(
+        self,
+        organization: str,
+        combiner: Combiner | None,
+        page_size: int,
+        head_cpu: np.ndarray,
+        segments: dict[int, np.ndarray],
+        total_inserted: int = 0,
+    ):
+        self.organization = organization
+        self.combiner = combiner
+        self.page_size = page_size
+        self.head_cpu = head_cpu
+        self.segments = segments
+        self.total_inserted = total_inserted
+        if organization == "combining" and combiner is None:
+            raise CheckpointError("combining tables need their combiner")
+
+    # ------------------------------------------------------------------
+    def _buf(self, segment: int) -> np.ndarray:
+        try:
+            return self.segments[segment]
+        except KeyError:
+            raise CheckpointError(
+                f"chain references missing segment {segment}"
+            ) from None
+
+    def cpu_items(self) -> Iterator[tuple[bytes, Any]]:
+        """Per-entry payloads, duplicates unmerged (cf. GpuHashTable)."""
+        for b in np.flatnonzero(self.head_cpu != NULL):
+            addr = int(self.head_cpu[b])
+            while addr != NULL:
+                seg, off = divmod(addr, self.page_size)
+                buf = self._buf(seg)
+                if self.organization == "multi-valued":
+                    hdr = E.read_key_entry_header(buf, off)
+                    next_cpu, vhead, klen = hdr[1], hdr[3], hdr[4]
+                    yield (
+                        E.key_entry_key(buf, off, klen),
+                        self._values(vhead),
+                    )
+                else:
+                    _, next_cpu, klen, vlen = E.read_entry_header(buf, off)
+                    key = E.entry_key(buf, off, klen)
+                    raw = E.entry_value(buf, off, klen, vlen)
+                    yield key, (
+                        self.combiner.unpack(raw) if self.combiner else raw
+                    )
+                addr = next_cpu
+
+    def _values(self, vhead: int) -> list[bytes]:
+        out = []
+        addr = vhead
+        while addr != NULL:
+            seg, off = divmod(addr, self.page_size)
+            buf = self._buf(seg)
+            _, vnext, vlen = E.read_value_node_header(buf, off)
+            out.append(E.value_node_value(buf, off, vlen))
+            addr = vnext
+        return out
+
+    def result(self) -> dict[bytes, Any]:
+        out: dict[bytes, Any] = {}
+        for key, payload in self.cpu_items():
+            if self.organization == "combining":
+                out[key] = (
+                    self.combiner.combine(out[key], payload)
+                    if key in out else payload
+                )
+            elif self.organization == "multi-valued":
+                out.setdefault(key, []).extend(payload)
+            else:
+                out.setdefault(key, []).append(payload)
+        return out
+
+    def get(self, key: bytes) -> Any:
+        """Single-key query via the bucket chain (no full scan)."""
+        bucket = fnv1a(key) % len(self.head_cpu)
+        addr = int(self.head_cpu[bucket])
+        acc: Any = None
+        found = False
+        collected: list[bytes] = []
+        while addr != NULL:
+            seg, off = divmod(addr, self.page_size)
+            buf = self._buf(seg)
+            if self.organization == "multi-valued":
+                hdr = E.read_key_entry_header(buf, off)
+                next_cpu, vhead, klen = hdr[1], hdr[3], hdr[4]
+                if klen == len(key) and E.key_entry_key(buf, off, klen) == key:
+                    collected.extend(self._values(vhead))
+                    found = True
+            else:
+                _, next_cpu, klen, vlen = E.read_entry_header(buf, off)
+                if klen == len(key) and E.entry_key(buf, off, klen) == key:
+                    raw = E.entry_value(buf, off, klen, vlen)
+                    if self.organization == "basic":
+                        collected.append(raw)
+                        found = True
+                    else:
+                        v = self.combiner.unpack(raw)
+                        acc = v if not found else self.combiner.combine(acc, v)
+                        found = True
+            addr = next_cpu
+        if not found:
+            return None
+        if self.organization == "combining":
+            return acc
+        return collected

@@ -1,0 +1,214 @@
+"""Binary entry layouts for the three bucket organizations.
+
+Entries live in heap pages as packed little-endian records.  Every linked
+structure stores the paper's *two* pointers (Section III-B): ``*_gpu`` is the
+flat GPU address (slot-based, valid while the target is resident) and
+``*_cpu`` is the flat CPU address (segment-based, valid forever).
+
+Generic entry (basic & combining methods -- key and value contiguous)::
+
+    0   next_gpu   i64    next entry in the bucket chain
+    8   next_cpu   i64
+    16  klen       u32
+    20  vlen       u32
+    24  key bytes
+    24+klen        value bytes
+
+Multi-valued key entry (keys on KEY pages)::
+
+    0   next_gpu   i64    next key entry in the bucket chain
+    8   next_cpu   i64
+    16  vhead_gpu  i64    head of this key's value list
+    24  vhead_cpu  i64
+    32  klen       u32
+    36  flags      u32    bit 0: PENDING (a value insert was postponed)
+    40  key bytes
+
+Value node (values on VALUE pages)::
+
+    0   vnext_gpu  i64
+    8   vnext_cpu  i64
+    16  vlen       u32
+    20  (pad)      u32
+    24  value bytes
+
+All allocations are rounded up to 8-byte alignment (:func:`aligned`).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = [
+    "ENTRY_HEADER",
+    "KEY_ENTRY_HEADER",
+    "VALUE_NODE_HEADER",
+    "FLAG_PENDING",
+    "aligned",
+    "entry_size",
+    "key_entry_size",
+    "value_node_size",
+    "write_entry",
+    "read_entry_header",
+    "entry_key",
+    "entry_value",
+    "set_entry_value",
+    "set_next_ptrs",
+    "write_key_entry",
+    "read_key_entry_header",
+    "key_entry_key",
+    "set_vhead",
+    "get_flags",
+    "set_flags",
+    "write_value_node",
+    "read_value_node_header",
+    "value_node_value",
+]
+
+ENTRY_HEADER = 24
+KEY_ENTRY_HEADER = 40
+VALUE_NODE_HEADER = 24
+FLAG_PENDING = 0x1
+
+_QQ = struct.Struct("<qq")
+_II = struct.Struct("<II")
+_QQII = struct.Struct("<qqII")
+_QQQQII = struct.Struct("<qqqqII")
+_QQI = struct.Struct("<qqI")
+_Q = struct.Struct("<q")
+_I = struct.Struct("<I")
+
+
+def aligned(nbytes: int) -> int:
+    """Round an allocation size up to 8-byte alignment."""
+    return (nbytes + 7) & ~7
+
+
+def entry_size(klen: int, vlen: int) -> int:
+    return aligned(ENTRY_HEADER + klen + vlen)
+
+
+def key_entry_size(klen: int) -> int:
+    return aligned(KEY_ENTRY_HEADER + klen)
+
+
+def value_node_size(vlen: int) -> int:
+    return aligned(VALUE_NODE_HEADER + vlen)
+
+
+# ----------------------------------------------------------------------
+# generic entries (basic & combining)
+# ----------------------------------------------------------------------
+def write_entry(
+    buf: np.ndarray,
+    off: int,
+    next_gpu: int,
+    next_cpu: int,
+    key: bytes,
+    value: bytes,
+) -> None:
+    _QQ.pack_into(buf, off, next_gpu, next_cpu)
+    _II.pack_into(buf, off + 16, len(key), len(value))
+    ko = off + ENTRY_HEADER
+    buf[ko : ko + len(key)] = np.frombuffer(key, dtype=np.uint8)
+    vo = ko + len(key)
+    if value:
+        buf[vo : vo + len(value)] = np.frombuffer(value, dtype=np.uint8)
+
+
+def read_entry_header(buf: np.ndarray, off: int) -> tuple[int, int, int, int]:
+    """Returns (next_gpu, next_cpu, klen, vlen)."""
+    return _QQII.unpack_from(buf, off)
+
+
+def entry_key(buf: np.ndarray, off: int, klen: int) -> bytes:
+    ko = off + ENTRY_HEADER
+    return buf[ko : ko + klen].tobytes()
+
+
+def entry_value(buf: np.ndarray, off: int, klen: int, vlen: int) -> bytes:
+    vo = off + ENTRY_HEADER + klen
+    return buf[vo : vo + vlen].tobytes()
+
+
+def set_entry_value(buf: np.ndarray, off: int, klen: int, value: bytes) -> None:
+    """Overwrite an entry's value in place (combining method)."""
+    vo = off + ENTRY_HEADER + klen
+    buf[vo : vo + len(value)] = np.frombuffer(value, dtype=np.uint8)
+
+
+def set_next_ptrs(buf: np.ndarray, off: int, next_gpu: int, next_cpu: int) -> None:
+    """Rewrite an entry's chain pointers (eviction-time splicing)."""
+    _QQ.pack_into(buf, off, next_gpu, next_cpu)
+
+
+# ----------------------------------------------------------------------
+# multi-valued key entries
+# ----------------------------------------------------------------------
+def write_key_entry(
+    buf: np.ndarray,
+    off: int,
+    next_gpu: int,
+    next_cpu: int,
+    key: bytes,
+) -> None:
+    from repro.memalloc.address import NULL
+
+    _QQ.pack_into(buf, off, next_gpu, next_cpu)
+    _QQ.pack_into(buf, off + 16, NULL, NULL)  # empty value list
+    _II.pack_into(buf, off + 32, len(key), 0)
+    ko = off + KEY_ENTRY_HEADER
+    buf[ko : ko + len(key)] = np.frombuffer(key, dtype=np.uint8)
+
+
+def read_key_entry_header(
+    buf: np.ndarray, off: int
+) -> tuple[int, int, int, int, int, int]:
+    """Returns (next_gpu, next_cpu, vhead_gpu, vhead_cpu, klen, flags)."""
+    return _QQQQII.unpack_from(buf, off)
+
+
+def key_entry_key(buf: np.ndarray, off: int, klen: int) -> bytes:
+    ko = off + KEY_ENTRY_HEADER
+    return buf[ko : ko + klen].tobytes()
+
+
+def set_vhead(buf: np.ndarray, off: int, vhead_gpu: int, vhead_cpu: int) -> None:
+    _QQ.pack_into(buf, off + 16, vhead_gpu, vhead_cpu)
+
+
+def get_flags(buf: np.ndarray, off: int) -> int:
+    return _I.unpack_from(buf, off + 36)[0]
+
+
+def set_flags(buf: np.ndarray, off: int, flags: int) -> None:
+    _I.pack_into(buf, off + 36, flags)
+
+
+# ----------------------------------------------------------------------
+# value nodes
+# ----------------------------------------------------------------------
+def write_value_node(
+    buf: np.ndarray,
+    off: int,
+    vnext_gpu: int,
+    vnext_cpu: int,
+    value: bytes,
+) -> None:
+    _QQ.pack_into(buf, off, vnext_gpu, vnext_cpu)
+    _II.pack_into(buf, off + 16, len(value), 0)
+    vo = off + VALUE_NODE_HEADER
+    if value:
+        buf[vo : vo + len(value)] = np.frombuffer(value, dtype=np.uint8)
+
+
+def read_value_node_header(buf: np.ndarray, off: int) -> tuple[int, int, int]:
+    """Returns (vnext_gpu, vnext_cpu, vlen)."""
+    return _QQI.unpack_from(buf, off)
+
+
+def value_node_value(buf: np.ndarray, off: int, vlen: int) -> bytes:
+    vo = off + VALUE_NODE_HEADER
+    return buf[vo : vo + vlen].tobytes()

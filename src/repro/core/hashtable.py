@@ -1,0 +1,252 @@
+"""The GPU hash table (Sections III-B and IV).
+
+:class:`GpuHashTable` is the requestee of the SEPO protocol: inserts return
+per-record SUCCESS/POSTPONE, and :meth:`end_iteration` performs the
+Figure-5 rearrangement (eviction to CPU memory, chain maintenance, pool
+refill).  It composes
+
+* a :class:`~repro.core.buckets.BucketArray` (dual-pointer chain heads),
+* a :class:`~repro.memalloc.heap.GpuHeap` + bucket-group allocator,
+* one of the three :mod:`~repro.core.organizations`,
+
+and reports every batch's cost statistics (:class:`~repro.gpusim.BatchStats`)
+so a :class:`~repro.gpusim.KernelModel` can charge simulated time.
+
+The finished table is readable from the CPU side -- :meth:`cpu_items` walks
+the CPU pointer chains across resident and evicted segments alike, and
+:meth:`result` additionally merges duplicate keys (combining residue across
+iterations) into the final mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.core import entries as E
+from repro.core.buckets import BucketArray
+from repro.core.hashing import fnv1a_batch
+from repro.core.organizations import (
+    CombiningOrganization,
+    EvictionReport,
+    InsertTally,
+    MultiValuedOrganization,
+    Organization,
+)
+from repro.core.records import RecordBatch
+from repro.gpusim.clock import CostCategory, CostLedger
+from repro.gpusim.kernel import BatchStats
+from repro.gpusim.memory import DeviceMemory
+from repro.memalloc.address import NULL
+from repro.memalloc.allocator import BucketGroupAllocator
+from repro.memalloc.heap import GpuHeap
+
+__all__ = ["GpuHashTable", "InsertResult"]
+
+
+class InsertResult:
+    """Outcome of a batched insert: per-record mask + cost statistics."""
+
+    def __init__(self, success: np.ndarray, stats: BatchStats, tally: InsertTally):
+        self.success = success
+        self.stats = stats
+        self.tally = tally
+
+    @property
+    def n_success(self) -> int:
+        return int(self.success.sum())
+
+    @property
+    def n_postponed(self) -> int:
+        return len(self.success) - self.n_success
+
+
+class GpuHashTable:
+    """Larger-than-memory chained hash table for GPUs (simulated)."""
+
+    def __init__(
+        self,
+        n_buckets: int,
+        organization: Organization,
+        heap: GpuHeap,
+        group_size: int = 64,
+        device_memory: DeviceMemory | None = None,
+        ledger: CostLedger | None = None,
+        trace=None,
+    ):
+        self.buckets = BucketArray(n_buckets, group_size, device_memory)
+        self.heap = heap
+        self.alloc = BucketGroupAllocator(heap, self.buckets.n_groups)
+        self.org = organization
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.trace = trace
+        #: aggregate instruction throughput used to charge chain-maintenance
+        #: work; sessions set this to the device's compute throughput.
+        self.maintenance_throughput = 1e12
+        self.iterations_completed = 0
+        self.total_inserted = 0
+        self.total_postponed = 0
+        self.eviction_reports: list[EvictionReport] = []
+
+    # ------------------------------------------------------------------
+    # insert path
+    # ------------------------------------------------------------------
+    def insert_batch(
+        self, batch: RecordBatch, indices: np.ndarray | None = None
+    ) -> InsertResult:
+        """Attempt to insert ``batch[indices]``; POSTPONE is not an error.
+
+        Returns the per-record success mask (aligned with ``indices``) and
+        the batch's cost statistics for the kernel model.  The caller (the
+        SEPO driver) owns the pending bitmap and the time charging.
+        """
+        if indices is None:
+            indices = np.arange(len(batch))
+        tally = InsertTally()
+        if len(indices) == 0:
+            return InsertResult(np.zeros(0, dtype=bool), BatchStats(), tally)
+        hashes = fnv1a_batch(batch.keys[indices], batch.key_lens[indices])
+        bucket_ids = self.buckets.bucket_of_hash(hashes).astype(np.int64)
+        success = self.org.insert_indices(self, batch, indices, bucket_ids, tally)
+        stats = self._stats_from(batch, indices, bucket_ids, tally)
+        self.total_inserted += tally.succeeded
+        self.total_postponed += tally.postponed
+        return InsertResult(success, stats, tally)
+
+    def insert(self, key: bytes, value: Any) -> bool:
+        """Scalar convenience insert; returns SUCCESS (True) / POSTPONE."""
+        if isinstance(self.org, CombiningOrganization):
+            batch = RecordBatch.from_numeric(
+                [key], np.array([value], dtype=self.org.combiner.dtype)
+            )
+        else:
+            batch = RecordBatch.from_pairs([(key, value)])
+        return bool(self.insert_batch(batch).success[0])
+
+    def _stats_from(self, batch, indices, bucket_ids, tally) -> BatchStats:
+        from repro.gpusim.atomics import hottest_count
+
+        n = len(indices)
+        cycles = batch.parse_cycles + (tally.table_cycles / n if n else 0.0)
+        input_bytes = int(
+            batch.key_lens[indices].sum()
+            + (
+                8 * n
+                if batch.numeric_values is not None
+                else int(batch.val_lens[indices].sum())
+            )
+        )
+        hottest_alloc = 0
+        if tally.alloc_groups:
+            hottest_alloc = hottest_count(np.asarray(tally.alloc_groups))
+        return BatchStats(
+            n_records=n,
+            cycles_per_record=cycles,
+            divergence=batch.divergence,
+            bytes_touched=tally.bytes_touched + input_bytes,
+            hottest_bucket=hottest_count(bucket_ids),
+            hottest_alloc=hottest_alloc,
+        )
+
+    # ------------------------------------------------------------------
+    # SEPO iteration protocol
+    # ------------------------------------------------------------------
+    def should_halt(self) -> bool:
+        """Must the computation stop mid-input? (basic method only)"""
+        return self.org.should_halt(self)
+
+    def end_iteration(self, pcie_bus=None) -> EvictionReport:
+        """Figure-5 rearrangement: evict per policy, refill the pool.
+
+        When ``pcie_bus`` is given, the eviction copyback is charged as one
+        bulky transfer, and chain maintenance as MAINTENANCE time.
+        """
+        report = self.org.end_iteration(self)
+        self.iterations_completed += 1
+        self.eviction_reports.append(report)
+        if pcie_bus is not None and report.bytes_evicted:
+            pcie_bus.bulk(report.bytes_evicted)
+        if report.maintenance_cycles:
+            self.ledger.charge(
+                CostCategory.MAINTENANCE,
+                report.maintenance_cycles / self.maintenance_throughput,
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # CPU-side access (the dual-pointer payoff)
+    # ------------------------------------------------------------------
+    def cpu_items(self) -> Iterator[tuple[bytes, Any]]:
+        """Walk every bucket chain via CPU pointers, without merging.
+
+        Yields raw per-entry payloads: scalars for the combining method,
+        value bytes for the basic method, and ``list[bytes]`` (one key
+        entry's value list) for the multi-valued method.  Duplicate keys may
+        appear when postponement split a key across iterations.
+        """
+        heap = self.heap
+        page_size = heap.page_size
+        multivalued = isinstance(self.org, MultiValuedOrganization)
+        combining = isinstance(self.org, CombiningOrganization)
+        fmt = self.org.combiner.fmt if combining else None
+        for b in self.buckets.occupied_buckets():
+            addr = int(self.buckets.head_cpu[b])
+            while addr != NULL:
+                seg, off = divmod(addr, page_size)
+                buf = heap.segment_view(seg)
+                if multivalued:
+                    hdr = E.read_key_entry_header(buf, off)
+                    next_cpu, vhead_cpu, klen = hdr[1], hdr[3], hdr[4]
+                    key = E.key_entry_key(buf, off, klen)
+                    yield key, self._collect_values(vhead_cpu)
+                else:
+                    _, next_cpu, klen, vlen = E.read_entry_header(buf, off)
+                    key = E.entry_key(buf, off, klen)
+                    if combining:
+                        vo = off + E.ENTRY_HEADER + klen
+                        yield key, fmt.unpack_from(buf, vo)[0]
+                    else:
+                        yield key, E.entry_value(buf, off, klen, vlen)
+                addr = next_cpu
+
+    def _collect_values(self, vhead_cpu: int) -> list[bytes]:
+        heap = self.heap
+        page_size = heap.page_size
+        values = []
+        addr = vhead_cpu
+        while addr != NULL:
+            seg, off = divmod(addr, page_size)
+            buf = heap.segment_view(seg)
+            vnext_gpu, vnext_cpu, vlen = E.read_value_node_header(buf, off)
+            values.append(E.value_node_value(buf, off, vlen))
+            addr = vnext_cpu
+        return values
+
+    def result(self) -> dict[bytes, Any]:
+        """The final merged mapping, resolving cross-iteration residue.
+
+        * combining: duplicate keys are reduced with the combiner,
+        * multi-valued: value lists of duplicate key entries are concatenated,
+        * basic: every pair is kept (``dict[key, list[value]]``).
+        """
+        combining = isinstance(self.org, CombiningOrganization)
+        multivalued = isinstance(self.org, MultiValuedOrganization)
+        out: dict[bytes, Any] = {}
+        for key, payload in self.cpu_items():
+            if combining:
+                if key in out:
+                    out[key] = self.org.combiner.combine(out[key], payload)
+                else:
+                    out[key] = payload
+            elif multivalued:
+                out.setdefault(key, []).extend(payload)
+            else:
+                out.setdefault(key, []).append(payload)
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def load_factor(self) -> float:
+        """Entries per bucket (can exceed 1; chains degrade gracefully)."""
+        return self.total_inserted / self.buckets.n_buckets

@@ -1,0 +1,125 @@
+"""Table introspection: structural statistics for tuning and ablations.
+
+The paper's design arguments are all about distributions -- chain lengths
+(load factor > 1 "degrades gracefully"), page occupancy (the bucket-group
+fragmentation trade-off), and how much of the table lives where.  This
+module computes them by walking the CPU-side chains, so it works on live
+*and* finished tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import entries as E
+from repro.core.hashtable import GpuHashTable
+from repro.core.organizations import MultiValuedOrganization
+from repro.memalloc.address import NULL
+
+__all__ = ["TableStats", "collect_stats"]
+
+
+@dataclass
+class TableStats:
+    """Structural snapshot of a hash table."""
+
+    n_buckets: int
+    occupied_buckets: int
+    total_entries: int  # key entries across all segments
+    total_values: int  # value nodes (multi-valued) or == entries
+    chain_length_histogram: dict[int, int]
+    max_chain_length: int
+    resident_pages: int
+    evicted_pages: int
+    resident_bytes_used: int
+    fragmented_bytes: int
+    key_bytes: int = 0
+    value_bytes: int = 0
+
+    @property
+    def load_factor(self) -> float:
+        return self.total_entries / self.n_buckets
+
+    @property
+    def mean_chain_length(self) -> float:
+        """Mean over non-empty buckets."""
+        if not self.occupied_buckets:
+            return 0.0
+        return self.total_entries / self.occupied_buckets
+
+    def summary(self) -> str:
+        lines = [
+            f"buckets            : {self.occupied_buckets:,} of "
+            f"{self.n_buckets:,} occupied",
+            f"entries            : {self.total_entries:,} "
+            f"(load factor {self.load_factor:.2f})",
+            f"values             : {self.total_values:,}",
+            f"chains             : mean {self.mean_chain_length:.2f}, "
+            f"max {self.max_chain_length}",
+            f"pages              : {self.resident_pages} resident, "
+            f"{self.evicted_pages} evicted",
+            f"payload bytes      : {self.key_bytes:,} keys + "
+            f"{self.value_bytes:,} values",
+            f"fragmented bytes   : {self.fragmented_bytes:,}",
+        ]
+        return "\n".join(lines)
+
+
+def collect_stats(table: GpuHashTable) -> TableStats:
+    """Walk the CPU-side structure and aggregate statistics."""
+    heap = table.heap
+    page_size = heap.page_size
+    multivalued = isinstance(table.org, MultiValuedOrganization)
+
+    hist: dict[int, int] = {}
+    total_entries = 0
+    total_values = 0
+    key_bytes = 0
+    value_bytes = 0
+    max_chain = 0
+
+    for b in table.buckets.occupied_buckets():
+        addr = int(table.buckets.head_cpu[b])
+        chain = 0
+        while addr != NULL:
+            seg, off = divmod(addr, page_size)
+            buf = heap.segment_view(seg)
+            chain += 1
+            if multivalued:
+                hdr = E.read_key_entry_header(buf, off)
+                next_cpu, vhead_cpu, klen = hdr[1], hdr[3], hdr[4]
+                key_bytes += klen
+                vaddr = vhead_cpu
+                while vaddr != NULL:
+                    vseg, voff = divmod(vaddr, page_size)
+                    vbuf = heap.segment_view(vseg)
+                    _, vnext_cpu, vlen = E.read_value_node_header(vbuf, voff)
+                    total_values += 1
+                    value_bytes += vlen
+                    vaddr = vnext_cpu
+            else:
+                _, next_cpu, klen, vlen = E.read_entry_header(buf, off)
+                key_bytes += klen
+                value_bytes += vlen
+                total_values += 1
+            addr = next_cpu
+        total_entries += chain
+        max_chain = max(max_chain, chain)
+        hist[chain] = hist.get(chain, 0) + 1
+
+    return TableStats(
+        n_buckets=table.buckets.n_buckets,
+        occupied_buckets=len(table.buckets.occupied_buckets()),
+        total_entries=total_entries,
+        total_values=total_values,
+        chain_length_histogram=hist,
+        max_chain_length=max_chain,
+        resident_pages=len(heap.resident_pages),
+        evicted_pages=len(heap._store),
+        resident_bytes_used=sum(p.used for p in heap.resident_pages),
+        fragmented_bytes=heap.fragmented_bytes,
+        key_bytes=key_bytes,
+        value_bytes=value_bytes,
+    )

@@ -1,0 +1,480 @@
+"""The three bucket organizations (Section IV-B) and their SEPO policies.
+
+Each organization implements
+
+* ``insert_indices`` -- the per-record insert path, returning a success mask
+  (``False`` = POSTPONE) and accumulating cost statistics, and
+* ``end_iteration`` -- the Figure-5 halt/rearrange step: which pages are
+  evicted, which are retained, and what chain maintenance is required,
+* ``should_halt`` -- whether the computation must stop mid-input (only the
+  basic method halts early, at the 50%-failed-bucket-groups threshold).
+
+The insert paths do the *real* work -- packing entries into heap pages and
+maintaining both pointer chains -- while counting probe steps, touched bytes
+and allocation contention for the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core import entries as E
+from repro.core.combiners import Combiner
+from repro.memalloc.address import NULL
+from repro.memalloc.pages import PageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.hashtable import GpuHashTable
+    from repro.core.records import RecordBatch
+
+__all__ = [
+    "Organization",
+    "BasicOrganization",
+    "MultiValuedOrganization",
+    "CombiningOrganization",
+    "EvictionReport",
+    "HASH_CYCLES_PER_BYTE",
+    "PROBE_CYCLES",
+    "INSERT_CYCLES",
+]
+
+#: ALU cost constants (cycles) for the table's own work, used on both devices.
+HASH_CYCLES_PER_BYTE = 3.0
+PROBE_CYCLES = 12.0
+INSERT_CYCLES = 30.0
+#: maintenance cost per entry visited while splicing retained chains
+SPLICE_CYCLES = 20.0
+
+
+@dataclass
+class EvictionReport:
+    """What an end-of-iteration rearrangement did."""
+
+    bytes_evicted: int = 0
+    pages_evicted: int = 0
+    pages_retained: int = 0
+    entries_spliced: int = 0
+    maintenance_cycles: float = 0.0
+    #: multi-valued deadlock avoidance kicked in: pinned pages were evicted
+    forced_full_eviction: bool = False
+
+
+@dataclass
+class InsertTally:
+    """Cost counters accumulated by an insert loop."""
+
+    attempted: int = 0
+    succeeded: int = 0
+    postponed: int = 0
+    probe_steps: int = 0
+    bytes_touched: int = 0
+    table_cycles: float = 0.0
+    #: bucket-group id per successful allocation (allocator contention)
+    alloc_groups: list[int] = field(default_factory=list)
+
+
+class Organization:
+    """Base class; see module docstring."""
+
+    kind: str = "abstract"
+    #: page kinds this organization allocates from
+    page_kinds: tuple[PageKind, ...] = (PageKind.GENERIC,)
+
+    def insert_indices(
+        self,
+        table: "GpuHashTable",
+        batch: "RecordBatch",
+        idx: np.ndarray,
+        buckets: np.ndarray,
+        tally: InsertTally,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def should_halt(self, table: "GpuHashTable") -> bool:
+        return False
+
+    def end_iteration(self, table: "GpuHashTable") -> EvictionReport:
+        """Default policy: evict everything, reset all GPU chain heads."""
+        report = EvictionReport()
+        victims = table.heap.resident_pages
+        report.pages_evicted = len(victims)
+        report.bytes_evicted = table.heap.evict(victims)
+        table.buckets.reset_gpu_heads()
+        table.alloc.drop_stale_pages()
+        table.alloc.reset_failures()
+        return report
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _walk_resident(table, bufs, addr, key, tally, trace):
+        """Walk a chain while targets are resident, looking for ``key``.
+
+        Returns (buf, off, klen) of the matching entry or None.  Traversal
+        stops at the first non-resident target -- safe because inserts are at
+        the head, so resident entries form a prefix of the chain within an
+        iteration (Section III-B).
+        """
+        heap = table.heap
+        page_size = heap.page_size
+        klen_key = len(key)
+        while addr != NULL:
+            seg, off = divmod(addr, page_size)
+            cached = bufs.get(seg)
+            if cached is None:
+                page = heap.resident_page(seg)
+                if page is None:
+                    return None  # rest of chain is non-resident
+                cached = heap.pool.slot_view(page.slot)
+                bufs[seg] = cached
+            next_gpu, next_cpu, klen, vlen = E.read_entry_header(cached, off)
+            tally.probe_steps += 1
+            tally.bytes_touched += E.ENTRY_HEADER + klen
+            if trace is not None:
+                trace.on_access(addr, E.ENTRY_HEADER + klen)
+            if klen == klen_key and E.entry_key(cached, off, klen) == key:
+                return cached, off, klen
+            addr = next_cpu
+        return None
+
+
+class BasicOrganization(Organization):
+    """Duplicate keys stored as separate entries; halts at 50% failed groups."""
+
+    kind = "basic"
+
+    def __init__(self, halt_threshold: float = 0.5):
+        if not 0.0 < halt_threshold <= 1.0:
+            raise ValueError(f"halt threshold must be in (0, 1]: {halt_threshold}")
+        self.halt_threshold = halt_threshold
+
+    def should_halt(self, table) -> bool:
+        return table.alloc.failed_fraction >= self.halt_threshold
+
+    def insert_indices(self, table, batch, idx, buckets, tally):
+        heap = table.heap
+        alloc = table.alloc
+        head_gpu = table.buckets.head_gpu
+        head_cpu = table.buckets.head_cpu
+        group_size = table.buckets.group_size
+        trace = table.trace
+        all_keys = batch.key_bytes_list()
+        idx_list = idx.tolist()
+        bucket_list = buckets.tolist()
+        success = np.zeros(len(idx), dtype=bool)
+        for j, i in enumerate(idx_list):
+            b = bucket_list[j]
+            key = all_keys[i]
+            value = batch.value_bytes(i)
+            size = E.entry_size(len(key), len(value))
+            a = alloc.allocate(b // group_size, size, PageKind.GENERIC)
+            tally.attempted += 1
+            tally.table_cycles += (
+                HASH_CYCLES_PER_BYTE * len(key) + INSERT_CYCLES
+            )
+            if a is None:
+                tally.postponed += 1
+                continue
+            buf = heap.pool.slot_view(a.page.slot)
+            E.write_entry(
+                buf, a.offset, int(head_gpu[b]), int(head_cpu[b]), key, value
+            )
+            head_gpu[b] = a.gpu_addr
+            head_cpu[b] = a.cpu_addr
+            tally.succeeded += 1
+            tally.bytes_touched += size + 16  # entry write + head update
+            tally.alloc_groups.append(b // group_size)
+            if trace is not None:
+                trace.on_access(a.cpu_addr, size)
+            success[j] = True
+        return success
+
+
+class CombiningOrganization(Organization):
+    """Duplicate keys combined in place via a callback (Section IV-B)."""
+
+    kind = "combining"
+
+    def __init__(self, combiner: Combiner):
+        self.combiner = combiner
+
+    def insert_indices(self, table, batch, idx, buckets, tally):
+        if batch.numeric_values is None:
+            raise ValueError(
+                "the combining method stores fixed-width scalar values; "
+                "build the batch with numeric_values"
+            )
+        heap = table.heap
+        alloc = table.alloc
+        head_gpu = table.buckets.head_gpu
+        head_cpu = table.buckets.head_cpu
+        group_size = table.buckets.group_size
+        comb = self.combiner
+        fmt = comb.fmt
+        trace = table.trace
+        all_keys = batch.key_bytes_list()
+        all_values = batch.numeric_values.tolist()
+        idx_list = idx.tolist()
+        bucket_list = buckets.tolist()
+        success = np.zeros(len(idx), dtype=bool)
+        bufs: dict[int, np.ndarray] = {}
+        for j, i in enumerate(idx_list):
+            b = bucket_list[j]
+            key = all_keys[i]
+            v = all_values[i]
+            tally.attempted += 1
+            tally.table_cycles += HASH_CYCLES_PER_BYTE * len(key)
+            hit = self._walk_resident(
+                table, bufs, int(head_cpu[b]), key, tally, trace
+            )
+            if hit is not None:
+                buf, off, klen = hit
+                vo = off + E.ENTRY_HEADER + klen
+                stored = fmt.unpack_from(buf, vo)[0]
+                fmt.pack_into(buf, vo, comb.combine(stored, v))
+                tally.table_cycles += comb.cycles
+                tally.bytes_touched += 16
+                tally.succeeded += 1
+                if trace is not None:
+                    trace.on_access(int(head_cpu[b]), 8)
+                success[j] = True
+                continue
+            size = E.entry_size(len(key), comb.value_size)
+            a = alloc.allocate(b // group_size, size, PageKind.GENERIC)
+            tally.table_cycles += INSERT_CYCLES
+            if a is None:
+                tally.postponed += 1
+                continue
+            buf = heap.pool.slot_view(a.page.slot)
+            bufs[a.page.segment] = buf
+            E.write_entry(
+                buf, a.offset, int(head_gpu[b]), int(head_cpu[b]),
+                key, comb.pack(v),
+            )
+            head_gpu[b] = a.gpu_addr
+            head_cpu[b] = a.cpu_addr
+            tally.succeeded += 1
+            tally.bytes_touched += size + 16
+            tally.alloc_groups.append(b // group_size)
+            if trace is not None:
+                trace.on_access(a.cpu_addr, size)
+            success[j] = True
+        return success
+
+
+class MultiValuedOrganization(Organization):
+    """Keys carry a linked list of values; keys and values on separate pages."""
+
+    kind = "multi-valued"
+    page_kinds = (PageKind.KEY, PageKind.VALUE)
+
+    def __init__(self, pin_retention_limit: float = 0.5) -> None:
+        if not 0.0 < pin_retention_limit <= 1.0:
+            raise ValueError(
+                f"pin retention limit must be in (0, 1]: {pin_retention_limit}"
+            )
+        #: per-segment count of PENDING keys (drives page pinning)
+        self._pin_counts: dict[int, int] = {}
+        #: when pinned pages exceed this fraction of the resident heap at
+        #: iteration end, flush them too.  Not in the paper: without a bound,
+        #: key-heavy workloads (e.g. Patent Citation) accumulate pinned key
+        #: pages until value throughput per pass collapses.  Flushed keys are
+        #: re-created on retry and merged at finalization.
+        self.pin_retention_limit = pin_retention_limit
+
+    # -- pending-flag bookkeeping --------------------------------------
+    def _set_pending(self, table, buf, seg, off) -> None:
+        flags = E.get_flags(buf, off)
+        if flags & E.FLAG_PENDING:
+            return
+        E.set_flags(buf, off, flags | E.FLAG_PENDING)
+        self._pin_counts[seg] = self._pin_counts.get(seg, 0) + 1
+        page = table.heap.resident_page(seg)
+        assert page is not None
+        page.pinned = True
+
+    def _clear_pending(self, table, buf, seg, off) -> None:
+        flags = E.get_flags(buf, off)
+        if not flags & E.FLAG_PENDING:
+            return
+        E.set_flags(buf, off, flags & ~E.FLAG_PENDING)
+        remaining = self._pin_counts.get(seg, 0) - 1
+        if remaining <= 0:
+            self._pin_counts.pop(seg, None)
+            page = table.heap.resident_page(seg)
+            if page is not None:
+                page.pinned = False
+        else:
+            self._pin_counts[seg] = remaining
+
+    # -- key-entry chain walk (different header layout) ------------------
+    def _find_key(self, table, bufs, addr, key, tally, trace):
+        heap = table.heap
+        page_size = heap.page_size
+        klen_key = len(key)
+        while addr != NULL:
+            seg, off = divmod(addr, page_size)
+            cached = bufs.get(seg)
+            if cached is None:
+                page = heap.resident_page(seg)
+                if page is None:
+                    return None
+                cached = heap.pool.slot_view(page.slot)
+                bufs[seg] = cached
+            hdr = E.read_key_entry_header(cached, off)
+            next_cpu, klen = hdr[1], hdr[4]
+            tally.probe_steps += 1
+            tally.bytes_touched += E.KEY_ENTRY_HEADER + klen
+            if trace is not None:
+                trace.on_access(addr, E.KEY_ENTRY_HEADER + klen)
+            if klen == klen_key and E.key_entry_key(cached, off, klen) == key:
+                return cached, off, seg
+            addr = next_cpu
+        return None
+
+    def _append_value(self, table, tally, trace, kbuf, koff, group, value) -> bool:
+        """Allocate a value node and push it onto the key's value list."""
+        size = E.value_node_size(len(value))
+        a = table.alloc.allocate(group, size, PageKind.VALUE)
+        if a is None:
+            return False
+        hdr = E.read_key_entry_header(kbuf, koff)
+        vhead_gpu, vhead_cpu = hdr[2], hdr[3]
+        vbuf = table.heap.pool.slot_view(a.page.slot)
+        E.write_value_node(vbuf, a.offset, vhead_gpu, vhead_cpu, value)
+        E.set_vhead(kbuf, koff, a.gpu_addr, a.cpu_addr)
+        tally.bytes_touched += size + 16
+        tally.alloc_groups.append(group)
+        if trace is not None:
+            trace.on_access(a.cpu_addr, size)
+        return True
+
+    def insert_indices(self, table, batch, idx, buckets, tally):
+        if batch.values is None:
+            raise ValueError("the multi-valued method requires byte values")
+        heap = table.heap
+        alloc = table.alloc
+        head_gpu = table.buckets.head_gpu
+        head_cpu = table.buckets.head_cpu
+        group_size = table.buckets.group_size
+        trace = table.trace
+        all_keys = batch.key_bytes_list()
+        idx_list = idx.tolist()
+        bucket_list = buckets.tolist()
+        success = np.zeros(len(idx), dtype=bool)
+        bufs: dict[int, np.ndarray] = {}
+        for j, i in enumerate(idx_list):
+            b = bucket_list[j]
+            group = b // group_size
+            key = all_keys[i]
+            value = batch.value_bytes(i)
+            tally.attempted += 1
+            tally.table_cycles += HASH_CYCLES_PER_BYTE * len(key) + INSERT_CYCLES
+            hit = self._find_key(table, bufs, int(head_cpu[b]), key, tally, trace)
+            if hit is None:
+                ksize = E.key_entry_size(len(key))
+                a = alloc.allocate(group, ksize, PageKind.KEY)
+                if a is None:
+                    tally.postponed += 1
+                    continue
+                kbuf = heap.pool.slot_view(a.page.slot)
+                bufs[a.page.segment] = kbuf
+                E.write_key_entry(
+                    kbuf, a.offset, int(head_gpu[b]), int(head_cpu[b]), key
+                )
+                head_gpu[b] = a.gpu_addr
+                head_cpu[b] = a.cpu_addr
+                tally.bytes_touched += ksize + 16
+                tally.alloc_groups.append(group)
+                if trace is not None:
+                    trace.on_access(a.cpu_addr, ksize)
+                hit = (kbuf, a.offset, a.page.segment)
+            kbuf, koff, kseg = hit
+            if self._append_value(table, tally, trace, kbuf, koff, group, value):
+                self._clear_pending(table, kbuf, kseg, koff)
+                tally.succeeded += 1
+                success[j] = True
+            else:
+                # The key entry exists but its value could not be stored:
+                # flag it so its page is retained across the eviction.
+                self._set_pending(table, kbuf, kseg, koff)
+                tally.postponed += 1
+        return success
+
+    # ------------------------------------------------------------------
+    def end_iteration(self, table) -> EvictionReport:
+        """Evict value pages and key pages without pending keys (Fig. 5b)."""
+        report = EvictionReport()
+        heap = table.heap
+        victims = [p for p in heap.resident_pages if not p.pinned]
+        retained = [p for p in heap.resident_pages if p.pinned]
+        resident = len(victims) + len(retained)
+        if retained and resident and (
+            len(retained) / resident > self.pin_retention_limit
+        ):
+            victims, retained = victims + retained, []
+            for p in victims:
+                p.pinned = False
+            self._pin_counts.clear()
+            report.forced_full_eviction = True
+        if not victims and retained:
+            # Deadlock avoidance (not in the paper): every resident page
+            # hosts a pending key, so retaining them all would leave the
+            # pool empty forever.  Evict everything; retried records will
+            # re-create their key entries, and the duplicate entries merge
+            # during CPU-side finalization.
+            victims, retained = retained, []
+            for p in victims:
+                p.pinned = False
+            self._pin_counts.clear()
+            report.forced_full_eviction = True
+        report.pages_evicted = len(victims)
+        report.pages_retained = len(retained)
+        report.bytes_evicted = heap.evict(victims)
+        self._splice_chains(table, report)
+        table.alloc.drop_stale_pages()
+        table.alloc.reset_failures()
+        return report
+
+    def _splice_chains(self, table, report) -> None:
+        """Rebuild GPU chains over retained entries only.
+
+        After a partial eviction, ``next_gpu`` pointers may target recycled
+        slots.  The CPU chain (never broken) is walked to find the entries
+        that are still resident; their ``next_gpu`` pointers are relinked to
+        skip evicted entries, and every retained key's ``vhead_gpu`` is
+        cleared because value pages are always evicted.
+        """
+        heap = table.heap
+        page_size = heap.page_size
+        head_gpu = table.buckets.head_gpu
+        head_cpu = table.buckets.head_cpu
+        for b in table.buckets.resident_buckets():
+            resident: list[tuple[int, np.ndarray, int]] = []  # (gpu, buf, off)
+            addr = int(head_cpu[b])
+            while addr != NULL:
+                seg, off = divmod(addr, page_size)
+                page = heap.resident_page(seg)
+                buf = heap.segment_view(seg)
+                hdr = E.read_key_entry_header(buf, off)
+                report.entries_spliced += 1
+                if page is not None:
+                    gpu = page.slot * page_size + off
+                    resident.append((gpu, buf, off))
+                    E.set_vhead(buf, off, NULL, hdr[3])
+                addr = hdr[1]
+            if not resident:
+                head_gpu[b] = NULL
+                continue
+            head_gpu[b] = resident[0][0]
+            for (g_cur, buf, off), (g_next, _, _) in zip(resident, resident[1:]):
+                hdr = E.read_key_entry_header(buf, off)
+                E.set_next_ptrs(buf, off, g_next, hdr[1])
+            last_buf, last_off = resident[-1][1], resident[-1][2]
+            hdr = E.read_key_entry_header(last_buf, last_off)
+            E.set_next_ptrs(last_buf, last_off, NULL, hdr[1])
+        report.maintenance_cycles += report.entries_spliced * SPLICE_CYCLES

@@ -1,0 +1,148 @@
+"""Record batches: the unit of work between applications and the hash table.
+
+Applications parse raw input chunks into :class:`RecordBatch` objects --
+padded key matrices plus either numeric values (the combining fast path,
+where values are fixed-width scalars updated in place) or padded byte values
+(basic and multi-valued methods, where values are variable-length blobs).
+
+Keys are padded to the batch's longest key; this is a *host-side staging*
+convenience and does not inflate the hash table itself, which stores each
+key at its exact length (Section IV, third advantage of dynamic allocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RecordBatch", "pack_str_keys", "pack_byte_rows"]
+
+
+def pack_byte_rows(rows: list[bytes]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack variable-length byte strings into a padded uint8 matrix."""
+    n = len(rows)
+    lens = np.fromiter((len(r) for r in rows), dtype=np.int32, count=n)
+    width = int(lens.max()) if n else 0
+    mat = np.zeros((n, max(width, 1)), dtype=np.uint8)
+    for i, r in enumerate(rows):
+        if r:
+            mat[i, : len(r)] = np.frombuffer(r, dtype=np.uint8)
+    return mat, lens
+
+
+def pack_str_keys(keys: list[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack unicode strings (UTF-8) into a padded uint8 matrix."""
+    return pack_byte_rows([k.encode("utf-8") for k in keys])
+
+
+@dataclass
+class RecordBatch:
+    """Parsed records ready for hash-table insertion.
+
+    Exactly one of ``numeric_values`` / (``values``, ``val_lens``) is set.
+    """
+
+    keys: np.ndarray  # (n, kw) uint8, left-justified
+    key_lens: np.ndarray  # (n,) int32
+    numeric_values: np.ndarray | None = None  # (n,) fixed-width scalars
+    values: np.ndarray | None = None  # (n, vw) uint8
+    val_lens: np.ndarray | None = None  # (n,) int32
+    #: raw input bytes this batch was parsed from (PCIe + parse-cost basis)
+    input_bytes: int = 0
+    #: per-record parse cost in cycles (application-specific)
+    parse_cycles: float = 50.0
+    #: warp-divergence factor of the parse kernel (Section VI-B)
+    divergence: float = 1.0
+
+    def __post_init__(self) -> None:
+        n = len(self.key_lens)
+        if self.keys.shape[0] != n:
+            raise ValueError("keys and key_lens disagree on record count")
+        has_numeric = self.numeric_values is not None
+        has_bytes = self.values is not None
+        if has_numeric == has_bytes:
+            raise ValueError("set exactly one of numeric_values / values")
+        if has_numeric and self.numeric_values.shape != (n,):
+            raise ValueError("numeric_values must be (n,)")
+        if has_bytes:
+            if self.val_lens is None or self.val_lens.shape != (n,):
+                raise ValueError("byte values require matching val_lens")
+            if self.values.shape[0] != n:
+                raise ValueError("values and val_lens disagree on record count")
+        if not self.input_bytes:
+            self.input_bytes = self.staged_bytes
+
+    def __len__(self) -> int:
+        return len(self.key_lens)
+
+    @property
+    def staged_bytes(self) -> int:
+        """Actual (unpadded) payload bytes in this batch."""
+        total = int(self.key_lens.sum())
+        if self.numeric_values is not None:
+            total += self.numeric_values.dtype.itemsize * len(self)
+        else:
+            total += int(self.val_lens.sum())
+        return total
+
+    # ------------------------------------------------------------------
+    def key_bytes(self, i: int) -> bytes:
+        return self.keys[i, : self.key_lens[i]].tobytes()
+
+    def key_bytes_list(self) -> list[bytes]:
+        """All keys as bytes, computed once and cached.
+
+        The SEPO driver re-visits batches every iteration; the insert hot
+        loops read keys through this cache instead of slicing per record.
+        """
+        cached = getattr(self, "_key_cache", None)
+        if cached is None:
+            lens = self.key_lens.tolist()
+            rows = self.keys
+            cached = [
+                rows[i, : lens[i]].tobytes() for i in range(len(lens))
+            ]
+            object.__setattr__(self, "_key_cache", cached)
+        return cached
+
+    def value_bytes(self, i: int) -> bytes:
+        if self.values is None:
+            raise ValueError("batch carries numeric values")
+        return self.values[i, : self.val_lens[i]].tobytes()
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: list[tuple[bytes, bytes]],
+        *,
+        input_bytes: int = 0,
+        parse_cycles: float = 50.0,
+        divergence: float = 1.0,
+    ) -> "RecordBatch":
+        """Build a byte-valued batch from (key, value) pairs (tests/examples)."""
+        keys, klens = pack_byte_rows([k for k, _ in pairs])
+        vals, vlens = pack_byte_rows([v for _, v in pairs])
+        return cls(
+            keys=keys, key_lens=klens, values=vals, val_lens=vlens,
+            input_bytes=input_bytes, parse_cycles=parse_cycles,
+            divergence=divergence,
+        )
+
+    @classmethod
+    def from_numeric(
+        cls,
+        keys: list[bytes],
+        values: np.ndarray,
+        *,
+        input_bytes: int = 0,
+        parse_cycles: float = 50.0,
+        divergence: float = 1.0,
+    ) -> "RecordBatch":
+        """Build a numeric-valued batch (combining method fast path)."""
+        kmat, klens = pack_byte_rows(keys)
+        return cls(
+            keys=kmat, key_lens=klens, numeric_values=np.asarray(values),
+            input_bytes=input_bytes, parse_cycles=parse_cycles,
+            divergence=divergence,
+        )

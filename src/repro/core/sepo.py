@@ -1,0 +1,203 @@
+"""The SEPO model of computation (Section III).
+
+SEPO = *Selective Postponement*: a requestee (the hash table) may decline a
+request (an insert) when servicing it would be inefficient -- here, when the
+GPU-side heap cannot allocate -- and the requestor (the application) tracks
+declined requests in a bitmap and reissues them on a later pass over the
+input.
+
+:class:`SepoDriver` is the requestor-side loop of Figure 5: it streams the
+input through BigKernel, inserts pending records, honours the organization's
+halt policy (the basic method stops at 50% failed bucket groups), triggers
+the end-of-iteration rearrangement, and repeats until the bitmap is clean.
+
+:func:`postponement_profitable` is the Section III-A condition deciding when
+postponing beats servicing inefficiently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Sequence
+
+import numpy as np
+
+from repro.bigkernel.pipeline import BigKernelPipeline
+from repro.core.bitmap import PendingBitmap
+from repro.core.hashtable import GpuHashTable
+from repro.core.records import RecordBatch
+from repro.gpusim.kernel import KernelModel
+from repro.gpusim.pcie import PCIeBus
+
+__all__ = [
+    "Status",
+    "postponement_profitable",
+    "IterationRecord",
+    "SepoReport",
+    "SepoDriver",
+    "NoProgressError",
+]
+
+
+class Status(Enum):
+    """Requestee responses in the SEPO protocol."""
+
+    SUCCESS = auto()
+    POSTPONE = auto()
+
+
+def postponement_profitable(
+    t_pre: float,
+    t_postpone: float,
+    t_postponed_service: float,
+    t_inefficient_service: float,
+    t_post: float,
+) -> bool:
+    """Section III-A: is postponing a task cheaper than servicing it badly?
+
+    The postponed path pays the pre-computation twice (once before the
+    decline, once on the reissue) plus the postponement bookkeeping, but
+    services the request efficiently; the direct path services it
+    inefficiently.
+    """
+    for name, t in (
+        ("t_pre", t_pre),
+        ("t_postpone", t_postpone),
+        ("t_postponed_service", t_postponed_service),
+        ("t_inefficient_service", t_inefficient_service),
+        ("t_post", t_post),
+    ):
+        if t < 0:
+            raise ValueError(f"{name} must be non-negative")
+    postponed = (t_pre + t_postpone) + (t_pre + t_postponed_service + t_post)
+    direct = t_pre + t_inefficient_service + t_post
+    return postponed < direct
+
+
+class NoProgressError(RuntimeError):
+    """An entire pass over the pending records inserted nothing.
+
+    This means the heap cannot host even one more entry (e.g. every page is
+    pinned by pending multi-valued keys); larger pages, more heap, or fewer
+    bucket groups are required.
+    """
+
+
+@dataclass
+class IterationRecord:
+    """Telemetry for one SEPO iteration."""
+
+    index: int
+    attempted: int = 0
+    succeeded: int = 0
+    postponed: int = 0
+    halted_early: bool = False
+    evicted_bytes: int = 0
+    pages_retained: int = 0
+
+
+@dataclass
+class SepoReport:
+    """Result of a complete SEPO run."""
+
+    iterations: int
+    total_records: int
+    elapsed_seconds: float
+    breakdown: dict[str, float]
+    iteration_log: list[IterationRecord] = field(default_factory=list)
+    input_bytes_streamed: int = 0
+    table_bytes: int = 0
+
+    @property
+    def postponement_rate(self) -> float:
+        """Fraction of insert attempts that were postponed."""
+        attempts = sum(r.attempted for r in self.iteration_log)
+        if not attempts:
+            return 0.0
+        return sum(r.postponed for r in self.iteration_log) / attempts
+
+
+class SepoDriver:
+    """Requestor-side iteration loop over a batched input."""
+
+    def __init__(
+        self,
+        table: GpuHashTable,
+        kernel: KernelModel,
+        bus: PCIeBus,
+        pipeline: BigKernelPipeline | None = None,
+        max_iterations: int = 1000,
+    ):
+        if kernel.ledger is not table.ledger:
+            raise ValueError("table and kernel must share one ledger")
+        self.table = table
+        self.kernel = kernel
+        self.bus = bus
+        self.pipeline = pipeline if pipeline is not None else BigKernelPipeline(bus)
+        self.max_iterations = max_iterations
+
+    def run(self, batches: Sequence[RecordBatch]) -> SepoReport:
+        """Process every record of every batch to completion."""
+        ledger = self.table.ledger
+        starts = np.cumsum([0] + [len(b) for b in batches])
+        total = int(starts[-1])
+        bitmap = PendingBitmap(total)
+        log: list[IterationRecord] = []
+        streamed = 0
+
+        iteration = 0
+        stuck_passes = 0
+        while bitmap.any_pending():
+            iteration += 1
+            if iteration > self.max_iterations:
+                raise NoProgressError(
+                    f"exceeded {self.max_iterations} SEPO iterations"
+                )
+            rec = IterationRecord(index=iteration)
+            self.pipeline.begin_pass()
+            for batch, start in zip(batches, starts):
+                pending = bitmap.pending_in(int(start), int(start) + len(batch))
+                if pending.size == 0:
+                    continue  # fully processed chunk: not re-streamed
+                local = pending - int(start)
+                before = ledger.elapsed
+                result = self.table.insert_batch(batch, local)
+                self.kernel.charge(result.stats)
+                kernel_seconds = ledger.elapsed - before
+                self.pipeline.account(batch.input_bytes, kernel_seconds)
+                streamed += batch.input_bytes
+                bitmap.mark_done(pending[result.success])
+                rec.attempted += len(pending)
+                rec.succeeded += result.n_success
+                rec.postponed += result.n_postponed
+                if self.table.should_halt():
+                    rec.halted_early = True
+                    break
+            if rec.succeeded == 0 and rec.attempted > 0:
+                # One stuck pass is recoverable: the end-of-iteration
+                # rearrangement (including the multi-valued deadlock
+                # fallback) frees pages.  Two in a row means the heap truly
+                # cannot host a single entry.
+                stuck_passes += 1
+                if stuck_passes >= 2:
+                    raise NoProgressError(
+                        "two consecutive SEPO passes made no progress; the "
+                        "heap cannot host the working set"
+                    )
+            else:
+                stuck_passes = 0
+            report = self.table.end_iteration(self.bus)
+            rec.evicted_bytes = report.bytes_evicted
+            rec.pages_retained = report.pages_retained
+            log.append(rec)
+
+        return SepoReport(
+            iterations=iteration,
+            total_records=total,
+            elapsed_seconds=ledger.elapsed,
+            breakdown=ledger.breakdown(),
+            iteration_log=log,
+            input_bytes_streamed=streamed,
+            table_bytes=self.table.heap.total_table_bytes,
+        )

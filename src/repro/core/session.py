@@ -1,0 +1,101 @@
+"""GPU run environment wiring.
+
+A :class:`GpuSession` bundles the pieces every GPU-side run needs -- device,
+ledger, PCIe bus, kernel cost model, BigKernel pipeline -- and performs the
+Section IV-A memory layout dance in the right order: fixed structures
+(BigKernel staging buffers, the pending bitmap, the bucket array) are
+reserved first, and the allocator heap takes *all remaining* device memory.
+"""
+
+from __future__ import annotations
+
+from repro.bigkernel.pipeline import BigKernelPipeline
+from repro.core.buckets import BYTES_PER_BUCKET
+from repro.core.hashtable import GpuHashTable
+from repro.core.organizations import Organization
+from repro.core.sepo import SepoDriver
+from repro.gpusim.clock import CostLedger
+from repro.gpusim.device import DeviceSpec, GTX_780TI
+from repro.gpusim.kernel import KernelModel
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.pcie import PCIeBus
+from repro.memalloc.heap import GpuHeap
+
+__all__ = ["GpuSession"]
+
+
+class GpuSession:
+    """Device + ledger + bus + pipeline, and the memory-layout protocol."""
+
+    @staticmethod
+    def clamp_chunk(device: DeviceSpec, scale: int, chunk_bytes: int) -> int:
+        """Cap the BigKernel chunk so staging fits a (scaled) small device.
+
+        The divisor keeps the double-buffered staging reservation at ~6% of
+        device memory, approximating the paper-scale proportions (2 x 1 MB
+        of 3 GB) as closely as a scaled-down device allows.
+        """
+        capacity = device.mem_capacity // scale
+        return max(1024, min(chunk_bytes, capacity // 16))
+
+    def __init__(
+        self,
+        device: DeviceSpec = GTX_780TI,
+        scale: int = 1,
+        chunk_bytes: int = 1 << 20,
+        backend: str = "analytic",
+    ):
+        self.device = device.scaled(scale) if scale > 1 else device
+        self.scale = scale
+        chunk_bytes = self.clamp_chunk(device, scale, chunk_bytes)
+        self.ledger = CostLedger()
+        self.memory = DeviceMemory(self.device)
+        self.bus = PCIeBus(self.ledger)
+        if backend == "analytic":
+            self.kernel = KernelModel(self.device, self.ledger)
+        elif backend == "microsim":
+            from repro.gpusim.microsim.backend import MicrosimKernel
+
+            self.kernel = MicrosimKernel(self.device, self.ledger)
+        else:
+            raise ValueError(
+                f"unknown kernel backend {backend!r} "
+                "(expected 'analytic' or 'microsim')"
+            )
+        # Double-buffered input staging (BigKernel).  Each buffer gets 2x
+        # slack because record-boundary-preserving partitioners may extend a
+        # chunk past the nominal size.
+        self.pipeline = BigKernelPipeline(
+            self.bus, stage_buffer_bytes=2 * chunk_bytes
+        )
+        self.memory.reserve("bigkernel-staging", 2 * chunk_bytes)
+
+    def build_table(
+        self,
+        n_buckets: int,
+        organization: Organization,
+        group_size: int = 64,
+        page_size: int = 16 << 10,
+        n_records: int = 0,
+        trace=None,
+    ) -> tuple[GpuHashTable, SepoDriver]:
+        """Lay out device memory and wire a table + SEPO driver.
+
+        Reservation order matters (Section IV-A): bitmap and bucket array
+        first, then the heap is sized to whatever remains.
+        """
+        if n_records:
+            self.memory.reserve("pending-bitmap", (n_records + 7) // 8)
+        self.memory.reserve("hashtable-buckets", n_buckets * BYTES_PER_BUCKET)
+        heap = GpuHeap.from_remaining(self.memory, page_size)
+        table = GpuHashTable(
+            n_buckets=n_buckets,
+            organization=organization,
+            heap=heap,
+            group_size=group_size,
+            ledger=self.ledger,
+            trace=trace,
+        )
+        table.maintenance_throughput = self.device.compute_throughput
+        driver = SepoDriver(table, self.kernel, self.bus, self.pipeline)
+        return table, driver

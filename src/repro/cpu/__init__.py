@@ -1,0 +1,17 @@
+"""CPU baseline substrate.
+
+The paper compares every GPU application against a "CPU-based multi-threaded
+implementation [using] a hash table design similar to our GPU-based hash
+table design except that they do not use the SEPO model of computation given
+that the entire hash table fits in CPU memory" (Section VI-B).
+
+:class:`~repro.cpu.cputable.CpuHashTable` is exactly that: the same chained
+table, bucket groups and allocator, but with a heap sized out of CPU memory
+(so inserts never postpone), costs charged by the CPU device model, and no
+PCIe involvement.  The CPU implementations use TCMalloc in the paper; its
+effect is folded into the CPU cost constants.
+"""
+
+from repro.cpu.cputable import CpuHashTable, CpuRunReport
+
+__all__ = ["CpuHashTable", "CpuRunReport"]

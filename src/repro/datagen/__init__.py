@@ -1,0 +1,34 @@
+"""Synthetic workload generators.
+
+The paper evaluates on proprietary inputs (web logs, HTML crawls, DNA read
+sets, Netflix ratings, text corpora, geo-tagged Wikipedia metadata, patent
+citations).  What the experiments actually depend on is the *statistical
+shape* of the key-value stream each input produces: record sizes, key-set
+cardinality, and duplicate-key skew -- those drive table growth (and hence
+SEPO iteration counts) and lock contention (Section VI-B).  Every generator
+here exposes exactly those knobs and is deterministic under a seed.
+
+All generators target an approximate output size in bytes and return raw
+``bytes`` in the same textual format the corresponding application parses.
+"""
+
+from repro.datagen.dna import generate_dna_reads
+from repro.datagen.html import generate_html_corpus
+from repro.datagen.patents import generate_patent_citations
+from repro.datagen.ratings import generate_ratings
+from repro.datagen.text import generate_text
+from repro.datagen.weblog import generate_weblog
+from repro.datagen.wiki import generate_geo_articles
+from repro.datagen.zipf import zipf_probabilities, zipf_sample
+
+__all__ = [
+    "generate_dna_reads",
+    "generate_geo_articles",
+    "generate_html_corpus",
+    "generate_patent_citations",
+    "generate_ratings",
+    "generate_text",
+    "generate_weblog",
+    "zipf_probabilities",
+    "zipf_sample",
+]

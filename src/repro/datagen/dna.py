@@ -1,0 +1,42 @@
+"""DNA read generator for the assembly application.
+
+Fixed-length reads sampled from a synthetic circular genome, one read per
+line.  The assembler's k-mers are nearly uniform keys whose cardinality is
+bounded by the genome length -- ``genome_len`` therefore controls table
+growth, and read overlap guarantees duplicate k-mers to merge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["generate_dna_reads", "BASES"]
+
+BASES = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+
+def generate_dna_reads(
+    size_bytes: int,
+    seed: int = 0,
+    genome_len: int = 100_000,
+    read_len: int = 64,
+) -> bytes:
+    """Reads of ``read_len`` bases, ~``size_bytes`` total, newline-separated."""
+    if size_bytes <= 0:
+        raise ValueError(f"size must be positive: {size_bytes}")
+    if read_len < 2:
+        raise ValueError(f"read length too short: {read_len}")
+    if genome_len < read_len:
+        raise ValueError("genome shorter than a read")
+    rng = np.random.default_rng(seed)
+    genome = BASES[rng.integers(0, 4, size=genome_len)]
+    # Circular genome: wrap reads around the end.
+    genome_ext = np.concatenate([genome, genome[: read_len - 1]])
+    n_reads = max(1, size_bytes // (read_len + 1))
+    offsets = rng.integers(0, genome_len, size=n_reads)
+    idx = offsets[:, None] + np.arange(read_len)[None, :]
+    reads = genome_ext[idx]  # (n_reads, read_len) uint8
+    with_newlines = np.concatenate(
+        [reads, np.full((n_reads, 1), ord("\n"), dtype=np.uint8)], axis=1
+    )
+    return with_newlines.tobytes()

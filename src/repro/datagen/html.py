@@ -1,0 +1,56 @@
+"""HTML corpus generator for Inverted Index.
+
+A stream of small HTML documents separated by ``--FILE:<path>--`` marker
+lines (standing in for a directory of files).  Each document contains
+Zipf-popular hyperlinks; the application emits ``<href, file-path>`` pairs
+into the multi-valued table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.zipf import zipf_sample
+
+__all__ = ["generate_html_corpus", "FILE_MARKER"]
+
+FILE_MARKER = b"--FILE:"
+
+_FILLER = (
+    b"<p>lorem ipsum dolor sit amet consectetur adipiscing elit sed do "
+    b"eiusmod tempor incididunt ut labore</p>"
+)
+
+
+def generate_html_corpus(
+    size_bytes: int,
+    seed: int = 0,
+    n_links: int = 3000,
+    links_per_doc: int = 25,
+    skew: float = 0.8,
+) -> bytes:
+    """An HTML corpus of approximately ``size_bytes`` bytes."""
+    if size_bytes <= 0:
+        raise ValueError(f"size must be positive: {size_bytes}")
+    if links_per_doc <= 0:
+        raise ValueError("documents need at least one link")
+    rng = np.random.default_rng(seed)
+    pool = [
+        b"http://ext-%03d.org/res/%05d" % (i % 200, i) for i in range(n_links)
+    ]
+    anchor = [b'<a href="%s">link</a>' % u for u in pool]
+    bytes_per_doc = (
+        len(_FILLER) + 40 + links_per_doc * (len(anchor[0]) + 1)
+    )
+    n_docs = max(1, int(size_bytes / bytes_per_doc))
+    draws = zipf_sample(rng, n_docs * links_per_doc, n_links, skew)
+    out = []
+    for d in range(n_docs):
+        path = b"site/doc%06d.html" % d
+        picks = draws[d * links_per_doc : (d + 1) * links_per_doc]
+        body = b"\n".join(anchor[i] for i in picks)
+        out.append(
+            FILE_MARKER + path + b"--\n<html><body>\n" + _FILLER + b"\n"
+            + body + b"\n</body></html>"
+        )
+    return b"\n".join(out) + b"\n"

@@ -1,0 +1,39 @@
+"""Ratings generator for the Netflix similarity application.
+
+CSV lines ``movieId,userId,rating`` grouped by movie (the natural export
+order of a ratings dump).  The Netflix kernel pairs users who rated the same
+movie, so ``raters_per_movie`` controls the pair volume and ``n_users`` the
+distinct-pair cardinality (table growth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["generate_ratings"]
+
+
+def generate_ratings(
+    size_bytes: int,
+    seed: int = 0,
+    n_users: int = 2000,
+    raters_per_movie: int = 24,
+) -> bytes:
+    """Approximately ``size_bytes`` of movie-grouped rating lines."""
+    if size_bytes <= 0:
+        raise ValueError(f"size must be positive: {size_bytes}")
+    if raters_per_movie < 2:
+        raise ValueError("need at least two raters per movie to form pairs")
+    rng = np.random.default_rng(seed)
+    out = []
+    total = 0
+    m = 0
+    while total < size_bytes:
+        raters = rng.choice(n_users, size=raters_per_movie, replace=False)
+        stars = rng.integers(1, 6, size=raters_per_movie)
+        for u, s in zip(raters, stars):
+            line = b"%d,%d,%d" % (m, u, s)
+            out.append(line)
+            total += len(line) + 1
+        m += 1
+    return b"\n".join(out) + b"\n"

@@ -1,0 +1,50 @@
+"""Web-log generator for Page View Count (PVC).
+
+Apache-combined-style lines whose only analytically relevant field is the
+requested URL; URL popularity is Zipfian.  ``n_urls`` controls the distinct
+key count (table growth -> SEPO iterations), ``skew`` the duplicate-key
+contention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.zipf import zipf_sample
+
+__all__ = ["generate_weblog", "weblog_url_pool"]
+
+
+def weblog_url_pool(n_urls: int, seed: int = 0) -> list[bytes]:
+    """Deterministic pool of distinct URLs with realistic length spread."""
+    rng = np.random.default_rng(seed)
+    hosts = [f"www.site-{h:03d}.com" for h in range(max(1, n_urls // 500))]
+    depths = rng.integers(1, 4, size=n_urls)
+    urls = []
+    for i in range(n_urls):
+        path = "/".join(f"d{(i * 31 + d) % 97:02d}" for d in range(depths[i]))
+        urls.append(f"http://{hosts[i % len(hosts)]}/{path}/p{i:06d}.html".encode())
+    return urls
+
+
+def generate_weblog(
+    size_bytes: int,
+    seed: int = 0,
+    n_urls: int = 5000,
+    skew: float = 0.9,
+) -> bytes:
+    """A web log of approximately ``size_bytes`` bytes."""
+    if size_bytes <= 0:
+        raise ValueError(f"size must be positive: {size_bytes}")
+    rng = np.random.default_rng(seed)
+    urls = weblog_url_pool(n_urls, seed)
+    # Pre-render one full line per distinct URL; only the URL matters to PVC.
+    lines = [
+        b'10.0.%d.%d - - "GET %s HTTP/1.1" 200 %d'
+        % (i % 256, (i * 7) % 256, u, 500 + (i * 131) % 9000)
+        for i, u in enumerate(urls)
+    ]
+    mean_len = sum(len(ln) for ln in lines) / len(lines) + 1
+    n_records = max(1, int(size_bytes / mean_len))
+    idx = zipf_sample(rng, n_records, n_urls, skew)
+    return b"\n".join(lines[i] for i in idx) + b"\n"

@@ -1,0 +1,38 @@
+"""Geo-tagged article generator for the Geo Location application.
+
+Tab-separated lines ``articleId<TAB>lat,lon`` where the coordinate strings
+are snapped to a grid -- grouping by exact location string, as the MapReduce
+application does.  Location popularity follows a mild Zipf (big cities
+produce more articles than villages, but no single cell dominates the way
+'the' dominates text).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.zipf import zipf_sample
+
+__all__ = ["generate_geo_articles"]
+
+
+def generate_geo_articles(
+    size_bytes: int,
+    seed: int = 0,
+    n_locations: int = 6000,
+    skew: float = 0.7,
+) -> bytes:
+    """Approximately ``size_bytes`` of geo-tagged article lines."""
+    if size_bytes <= 0:
+        raise ValueError(f"size must be positive: {size_bytes}")
+    rng = np.random.default_rng(seed)
+    lats = rng.uniform(-90, 90, size=n_locations)
+    lons = rng.uniform(-180, 180, size=n_locations)
+    cells = [
+        b"%.1f,%.1f" % (lats[i], lons[i]) for i in range(n_locations)
+    ]
+    bytes_per_line = 25.0
+    n_articles = max(1, int(size_bytes / bytes_per_line))
+    idx = zipf_sample(rng, n_articles, n_locations, skew)
+    out = [b"%d\t%s" % (a, cells[i]) for a, i in enumerate(idx)]
+    return b"\n".join(out) + b"\n"

@@ -1,0 +1,34 @@
+"""Bounded Zipfian sampling.
+
+Key popularity in Big Data streams (URLs, words, locations) is classically
+Zipf-distributed.  The exponent ``s`` is each generator's skew knob: Word
+Count uses a high ``s`` over a small vocabulary (which is what collapses its
+GPU speedup via lock contention, Section VI-B), while e.g. DNA k-mers are
+nearly uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zipf_probabilities", "zipf_sample"]
+
+
+def zipf_probabilities(k: int, s: float) -> np.ndarray:
+    """Probability vector of a Zipf(s) law over ranks 1..k."""
+    if k <= 0:
+        raise ValueError(f"need a positive support size, got {k}")
+    if s < 0:
+        raise ValueError(f"negative exponent: {s}")
+    weights = 1.0 / np.arange(1, k + 1, dtype=np.float64) ** s
+    return weights / weights.sum()
+
+
+def zipf_sample(
+    rng: np.random.Generator, n: int, k: int, s: float
+) -> np.ndarray:
+    """Sample ``n`` ranks in ``[0, k)`` with Zipf(s) popularity."""
+    if n < 0:
+        raise ValueError(f"negative sample count: {n}")
+    p = zipf_probabilities(k, s)
+    return rng.choice(k, size=n, p=p)

@@ -1,0 +1,53 @@
+"""Analytic GPU execution simulator.
+
+This package supplies the *performance substrate* of the reproduction: real
+data structures live in :mod:`repro.memalloc` and :mod:`repro.core`, while the
+classes here account for the time those structures would have cost on the
+paper's testbed (an Nvidia GTX 780ti behind a PCIe Gen3 x16 link, against a
+quad-core Xeon).  The model covers the first-order effects the paper reasons
+about:
+
+* SIMT compute throughput with warp-divergence penalties (:mod:`.simt`),
+* memory-bandwidth-bound phases (:mod:`.simt`),
+* per-bucket lock serialization -- the atomic-contention critical path that
+  makes Word Count's speedup collapse (:mod:`.atomics`),
+* PCIe transfers, distinguishing few-bulky from many-small transactions
+  (:mod:`.pcie`),
+* device memory capacity, which is what forces SEPO iterations
+  (:mod:`.memory`).
+
+All charges accumulate on a :class:`~repro.gpusim.clock.CostLedger`, which
+keeps a per-category breakdown so experiments can report *why* time was spent.
+"""
+
+from repro.gpusim.atomics import contention_time, hottest_count
+from repro.gpusim.clock import CostCategory, CostLedger
+from repro.gpusim.device import (
+    GTX_780TI,
+    GTX_1080,
+    XEON_E5_QUAD,
+    DeviceSpec,
+)
+from repro.gpusim.kernel import BatchStats, KernelModel
+from repro.gpusim.memory import DeviceMemory, OutOfDeviceMemory
+from repro.gpusim.pcie import PCIE_GEN3_X16, PCIeBus, PCIeLinkSpec
+from repro.gpusim.simt import SimtModel
+
+__all__ = [
+    "BatchStats",
+    "CostCategory",
+    "CostLedger",
+    "DeviceMemory",
+    "DeviceSpec",
+    "GTX_1080",
+    "GTX_780TI",
+    "KernelModel",
+    "OutOfDeviceMemory",
+    "PCIE_GEN3_X16",
+    "PCIeBus",
+    "PCIeLinkSpec",
+    "SimtModel",
+    "XEON_E5_QUAD",
+    "contention_time",
+    "hottest_count",
+]

@@ -1,0 +1,114 @@
+"""Processor specifications for the simulated testbed.
+
+The constants mirror Section VI-A of the paper: a 3.8 GHz quad-core Xeon E5
+(8 hardware threads, quad-channel DDR3) against an Nvidia GTX 780ti (2,880
+CUDA cores at 875 MHz, 3 GB of GDDR5 at 336 GB/s) on PCIe Gen3 x16.  A GTX
+1080 preset is included because the paper's motivation section cites it.
+
+``DeviceSpec`` describes both CPUs and GPUs; the SIMT-only fields are simply
+1/0-valued for CPUs.  Effective (as opposed to theoretical) throughput is
+captured by two derating factors:
+
+``ipc``
+    Sustained instructions per clock per core.  CPUs run superscalar with
+    out-of-order execution, so their ``ipc`` is well above a GPU core's.
+``mem_efficiency``
+    Fraction of theoretical memory bandwidth sustained on the irregular,
+    pointer-chasing access patterns of a hash table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DeviceSpec", "GTX_780TI", "GTX_1080", "XEON_E5_QUAD"]
+
+GIB = 1024**3
+MIB = 1024**2
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a compute device used by the cost models."""
+
+    name: str
+    cores: int
+    clock_hz: float
+    #: sustained instructions per clock per core (derating factor)
+    ipc: float
+    #: theoretical DRAM bandwidth, bytes/second
+    mem_bandwidth: float
+    #: fraction of ``mem_bandwidth`` sustained on irregular access patterns
+    mem_efficiency: float
+    #: DRAM capacity in bytes (the budget SEPO must live within on GPUs)
+    mem_capacity: int
+    #: SIMT width; 1 on CPUs
+    warp_size: int
+    #: effective cost of one serialized lock/atomic round-trip, seconds
+    lock_s: float
+    #: fixed cost of launching a kernel (or spawning a parallel section)
+    launch_s: float
+
+    @property
+    def compute_throughput(self) -> float:
+        """Aggregate sustained instruction throughput in ops/second."""
+        return self.cores * self.clock_hz * self.ipc
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Sustained memory bandwidth in bytes/second."""
+        return self.mem_bandwidth * self.mem_efficiency
+
+    def scaled(self, scale: int) -> "DeviceSpec":
+        """Return a copy with memory capacity divided by ``scale``.
+
+        Experiments shrink the paper's GB-scale footprints to MB-scale ones;
+        only capacity shrinks -- throughput figures stay calibrated to the
+        real hardware so that *time ratios* are preserved.
+        """
+        if scale < 1:
+            raise ValueError(f"scale must be >= 1, got {scale}")
+        return replace(self, mem_capacity=self.mem_capacity // scale)
+
+
+#: The paper's GPU: Nvidia Geforce GTX 780ti (Section VI-A).
+GTX_780TI = DeviceSpec(
+    name="GTX 780ti",
+    cores=2880,
+    clock_hz=875e6,
+    ipc=0.40,  # hash-table kernels are latency-bound, far from peak
+    mem_bandwidth=336e9,
+    mem_efficiency=0.25,  # irregular chained accesses defeat coalescing
+    mem_capacity=3 * GIB,
+    warp_size=32,
+    lock_s=60e-9,  # serialized lock hand-off through L2 (hardware-combined)
+    launch_s=8e-6,
+    )
+
+#: The GPU cited in the motivation footnote (8.3 TFLOPS, 320 GB/s).
+GTX_1080 = DeviceSpec(
+    name="GTX 1080",
+    cores=2560,
+    clock_hz=1607e6,
+    ipc=0.40,
+    mem_bandwidth=320e9,
+    mem_efficiency=0.28,
+    mem_capacity=8 * GIB,
+    warp_size=32,
+    lock_s=50e-9,
+    launch_s=8e-6,
+)
+
+#: The paper's CPU: 3.8 GHz Xeon E5 quad core, 8 hardware threads, 16 GB.
+XEON_E5_QUAD = DeviceSpec(
+    name="Xeon E5 quad-core",
+    cores=8,  # hardware threads
+    clock_hz=3.8e9,
+    ipc=1.15,  # OoO superscalar, derated by irregular table accesses
+    mem_bandwidth=115e9,
+    mem_efficiency=0.30,
+    mem_capacity=16 * GIB,
+    warp_size=1,
+    lock_s=40e-9,  # cache-line ping-pong between 8 threads
+    launch_s=2e-6,
+)

@@ -1,0 +1,64 @@
+"""Device-memory capacity accounting.
+
+GPU memory capacity is the constraint that motivates SEPO: the hash table
+heap is sized to "whatever is left" after all other structures are allocated
+(Section IV-A), and SEPO iterations begin when that heap fills.
+
+:class:`DeviceMemory` tracks named reservations against the device's
+capacity.  It deliberately models only *capacity*, not addresses -- physical
+placement of heap pages is handled by :class:`repro.memalloc.heap.GpuHeap`.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.device import DeviceSpec
+
+__all__ = ["DeviceMemory", "OutOfDeviceMemory"]
+
+
+class OutOfDeviceMemory(MemoryError):
+    """Raised when a reservation exceeds remaining device capacity."""
+
+
+class DeviceMemory:
+    """Named-reservation bookkeeping for a device's DRAM."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+        self.capacity = device.mem_capacity
+        self._reservations: dict[str, int] = {}
+
+    @property
+    def used(self) -> int:
+        return sum(self._reservations.values())
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def reserve(self, name: str, nbytes: int) -> int:
+        """Reserve ``nbytes`` under ``name``; returns bytes reserved."""
+        if nbytes < 0:
+            raise ValueError(f"negative reservation: {nbytes}")
+        if name in self._reservations:
+            raise ValueError(f"reservation {name!r} already exists")
+        if nbytes > self.free:
+            raise OutOfDeviceMemory(
+                f"cannot reserve {nbytes} bytes for {name!r}: "
+                f"only {self.free} of {self.capacity} free"
+            )
+        self._reservations[name] = nbytes
+        return nbytes
+
+    def release(self, name: str) -> int:
+        """Release the reservation ``name``; returns the bytes freed."""
+        try:
+            return self._reservations.pop(name)
+        except KeyError:
+            raise KeyError(f"no reservation named {name!r}") from None
+
+    def reservation(self, name: str) -> int:
+        return self._reservations[name]
+
+    def reservations(self) -> dict[str, int]:
+        return dict(self._reservations)

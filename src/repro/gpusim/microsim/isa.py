@@ -1,0 +1,53 @@
+"""The micro-simulator's three-instruction ISA.
+
+Hash-table kernels, reduced to what costs time on a GPU: ALU work, global
+memory traffic, and same-address atomic serialization.  Control flow never
+appears explicitly -- divergence is a *trace property* (a diverged warp's
+trace simply contains the union of its threads' work; see
+:mod:`~repro.gpusim.microsim.tracegen`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Op", "Compute", "Load", "Atomic"]
+
+
+class Op:
+    """Base class for warp-level instructions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Compute(Op):
+    """Occupy the warp's lane in the SM pipeline for ``cycles`` cycles."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ValueError(f"compute must take >= 1 cycle: {self.cycles}")
+
+
+@dataclass(frozen=True, slots=True)
+class Load(Op):
+    """A (coalesced) global-memory access of ``nbytes`` by the warp."""
+
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError(f"load must move >= 1 byte: {self.nbytes}")
+
+
+@dataclass(frozen=True, slots=True)
+class Atomic(Op):
+    """An atomic RMW on ``address`` (same-address ops serialize)."""
+
+    address: int
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"negative atomic address: {self.address}")

@@ -1,0 +1,68 @@
+"""Generating instruction traces for hash-table batches.
+
+Bridges the two descriptions of a kernel batch: the aggregate
+:class:`~repro.gpusim.kernel.BatchStats` the analytic model consumes, and
+the per-warp instruction traces the micro-simulator executes.
+
+Each record becomes, on its thread: a parse/hash ``Compute``, a ``Load``
+of its share of memory traffic, and (when it hits a contended bucket) an
+``Atomic`` on that bucket's lock address.  Threads pack 32 to a warp; a
+warp's trace is the *union* of its threads' work with per-record compute
+scaled by the divergence factor -- exactly the SIMT serialization the
+divergence model predicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.microsim.isa import Atomic, Compute, Load, Op
+from repro.gpusim.microsim.warp import Warp
+
+__all__ = ["batch_traces"]
+
+
+def batch_traces(
+    n_records: int,
+    cycles_per_record: float,
+    bytes_per_record: float,
+    bucket_ids: np.ndarray | None = None,
+    divergence: float = 1.0,
+    warp_size: int = 32,
+    records_per_thread: int = 1,
+) -> list[Warp]:
+    """Build warp traces for a batch of independent records.
+
+    ``bucket_ids`` (one per record) adds an ``Atomic`` on the record's
+    bucket; pass None for lock-free batches.  The per-warp compute is
+    ``warp_size x cycles_per_record x divergence / warp_size`` per record
+    *slot* -- i.e. each record contributes its diverged cost once, since a
+    warp instruction covers all 32 lanes.
+    """
+    if n_records < 0:
+        raise ValueError("negative record count")
+    if divergence < 1.0:
+        raise ValueError("divergence must be >= 1")
+    if records_per_thread < 1:
+        raise ValueError("records_per_thread must be >= 1")
+    records_per_warp = warp_size * records_per_thread
+    warps: list[Warp] = []
+    compute_cycles = max(1, round(cycles_per_record * divergence))
+    load_bytes = max(1, round(bytes_per_record * warp_size))
+    for start in range(0, n_records, records_per_warp):
+        count = min(records_per_warp, n_records - start)
+        ops: list[Op] = []
+        for step in range(0, count, warp_size):
+            lane_count = min(warp_size, count - step)
+            # One warp-instruction per record slot: the 32 lanes execute it
+            # together (divergence already folded into the cycle count).
+            ops.append(Compute(compute_cycles))
+            ops.append(
+                Load(max(1, round(bytes_per_record * lane_count)))
+            )
+            if bucket_ids is not None:
+                base = start + step
+                for lane in range(lane_count):
+                    ops.append(Atomic(int(bucket_ids[base + lane])))
+        warps.append(Warp(ops, wid=len(warps)))
+    return warps

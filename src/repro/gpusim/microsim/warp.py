@@ -1,0 +1,43 @@
+"""Warp state for the micro-simulator."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.gpusim.microsim.isa import Op
+
+__all__ = ["Warp"]
+
+
+class Warp:
+    """A warp: an instruction trace plus scheduling state.
+
+    ``ready_at`` is the cycle at which the warp may issue its next
+    instruction; an issued long-latency op pushes it into the future, and
+    the SM hides that latency by issuing other warps meanwhile.
+    """
+
+    __slots__ = ("ops", "pc", "ready_at", "wid")
+
+    def __init__(self, ops: Sequence[Op], wid: int = 0):
+        self.ops = list(ops)
+        self.pc = 0
+        self.ready_at = 0
+        self.wid = wid
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.ops)
+
+    def current(self) -> Op:
+        return self.ops[self.pc]
+
+    def advance(self, ready_at: int) -> None:
+        self.pc += 1
+        self.ready_at = ready_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Warp(wid={self.wid}, pc={self.pc}/{len(self.ops)}, "
+            f"ready_at={self.ready_at})"
+        )

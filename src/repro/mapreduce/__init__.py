@@ -1,0 +1,29 @@
+"""MapReduce runtimes (Section V and VI-C).
+
+* :mod:`.api` -- the programmer-facing job description: ``map`` /
+  ``reduce_combine`` functions, the input data partitioner, and the
+  MAP_REDUCE / MAP_GROUP execution modes.
+* :mod:`.runtime` -- the paper's runtime: BigKernel for input, the SEPO hash
+  table as the KV store, the reduce embedded into the map phase through the
+  combining method (MAP_REDUCE) or on-the-fly grouping through the
+  multi-valued method (MAP_GROUP).  The first GPU MapReduce able to process
+  inputs larger than GPU memory.
+* :mod:`.phoenix` -- a Phoenix++-style shared-memory CPU comparator.
+* :mod:`.mapcg` -- a MapCG-style GPU comparator: hash-table KV store fully
+  resident in GPU memory, centralized allocation, hard failure when memory
+  runs out (which is why Table II only uses the smallest datasets).
+"""
+
+from repro.mapreduce.api import JobSpec, Mode
+from repro.mapreduce.mapcg import GpuOutOfMemory, MapCGRuntime
+from repro.mapreduce.phoenix import PhoenixRuntime
+from repro.mapreduce.runtime import MapReduceRuntime
+
+__all__ = [
+    "GpuOutOfMemory",
+    "JobSpec",
+    "MapCGRuntime",
+    "MapReduceRuntime",
+    "Mode",
+    "PhoenixRuntime",
+]

@@ -1,0 +1,95 @@
+"""The paper's MapReduce runtime (Section V).
+
+Execution flow, exactly as described: the CPU-side *input data partitioner*
+splits the raw input into chunks; BigKernel pipelines the chunks to the GPU;
+one map-function instance per chunk emits KV pairs, which are inserted into
+the SEPO hash table.  In MAP_REDUCE mode the table uses the combining method
+with the job's reduce/combine callback -- the reduce phase is embedded in
+the map phase.  In MAP_GROUP mode the table uses the multi-valued method and
+groups values on the fly.
+
+Thanks to SEPO, the runtime processes inputs (and produces tables) larger
+than GPU memory -- the property MapCG lacks (Section VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.hashtable import GpuHashTable
+from repro.core.organizations import (
+    CombiningOrganization,
+    MultiValuedOrganization,
+)
+from repro.core.records import RecordBatch
+from repro.core.sepo import SepoReport
+from repro.core.session import GpuSession
+from repro.gpusim.device import DeviceSpec, GTX_780TI
+from repro.mapreduce.api import JobSpec, Mode
+
+__all__ = ["MapReduceRuntime", "MapReduceResult"]
+
+
+@dataclass
+class MapReduceResult:
+    """A finished job: SEPO telemetry plus access to the output table."""
+
+    report: SepoReport
+    table: GpuHashTable
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.report.elapsed_seconds
+
+    def output(self) -> dict[bytes, Any]:
+        """<key, value> (MAP_REDUCE) or <key, values> (MAP_GROUP) pairs."""
+        return self.table.result()
+
+
+class MapReduceRuntime:
+    """Schedules a :class:`~repro.mapreduce.api.JobSpec` onto the GPU."""
+
+    def __init__(
+        self,
+        job: JobSpec,
+        device: DeviceSpec = GTX_780TI,
+        scale: int = 1,
+        n_buckets: int = 1 << 16,
+        group_size: int = 64,
+        page_size: int = 16 << 10,
+    ):
+        self.job = job
+        self.device = device
+        self.scale = scale
+        self.n_buckets = n_buckets
+        self.group_size = group_size
+        self.page_size = page_size
+
+    def _organization(self):
+        if self.job.mode is Mode.MAP_REDUCE:
+            return CombiningOrganization(self.job.combiner)
+        return MultiValuedOrganization()
+
+    def run(self, data: bytes) -> MapReduceResult:
+        """Execute the job over ``data`` to completion."""
+        chunk_bytes = GpuSession.clamp_chunk(
+            self.device, self.scale, self.job.chunk_bytes
+        )
+        chunks = self.job.partition(data, chunk_bytes)
+        batches: list[RecordBatch] = []
+        for chunk in chunks:
+            batch = self.job.map_chunk(chunk)
+            batch.input_bytes = len(chunk)
+            batches.append(batch)
+        n_records = sum(len(b) for b in batches)
+        session = GpuSession(self.device, self.scale, chunk_bytes=chunk_bytes)
+        table, driver = session.build_table(
+            n_buckets=self.n_buckets,
+            organization=self._organization(),
+            group_size=self.group_size,
+            page_size=self.page_size,
+            n_records=n_records,
+        )
+        report = driver.run(batches)
+        return MapReduceResult(report=report, table=table)

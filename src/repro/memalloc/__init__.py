@@ -1,0 +1,37 @@
+"""Dynamic memory allocator for the GPU-side hash-table heap.
+
+Implements Section IV-A of the paper:
+
+* the heap is pre-allocated out of whatever device memory remains after all
+  other structures (:class:`~repro.memalloc.heap.GpuHeap` reserves it from a
+  :class:`~repro.gpusim.memory.DeviceMemory`),
+* the heap is partitioned into fixed-size pages managed by a free pool,
+* hash-table buckets are partitioned into *bucket groups*, and each group
+  allocates from its own current page, spreading free-list contention across
+  many pages at the cost of fragmentation
+  (:class:`~repro.memalloc.allocator.BucketGroupAllocator`),
+* when pages are evicted, their bytes move to a CPU-side *segment store*,
+  where they remain addressable through the entries' CPU pointers.
+
+Addresses are explained in :mod:`repro.memalloc.address`: every page gets a
+stable *segment id* at allocation time, which doubles as the page's eventual
+location in CPU memory -- this is what lets entries carry both a GPU and a
+CPU pointer (Section III-B).
+"""
+
+from repro.memalloc.address import NULL, decode, encode
+from repro.memalloc.allocator import AllocationStats, BucketGroupAllocator
+from repro.memalloc.heap import GpuHeap
+from repro.memalloc.pages import Page, PageKind, PagePool
+
+__all__ = [
+    "AllocationStats",
+    "BucketGroupAllocator",
+    "GpuHeap",
+    "NULL",
+    "Page",
+    "PageKind",
+    "PagePool",
+    "decode",
+    "encode",
+]

@@ -1,0 +1,44 @@
+"""Address encoding for the dual-pointer scheme.
+
+The paper stores *two* pointers wherever a hash table would normally store
+one: one valid in GPU memory while the data is resident, and one valid at the
+data's eventual location in CPU memory (Section III-B).  We realize this
+with two flat address spaces sharing one encoding::
+
+    address = region_index * page_size + offset_within_page
+
+* **GPU addresses** use the page's current *physical slot* in the heap arena
+  as the region index.  They are fast to dereference but become stale once
+  the page is evicted and its slot reused.
+* **CPU addresses** use the page's *segment id* -- a monotonically increasing
+  number assigned when the page is taken from the pool, which names the spot
+  in the CPU-side segment store where the page's bytes will land on
+  eviction.  Segment ids are never reused, so CPU addresses stay valid
+  forever, which is what makes the finished table traversable from the CPU
+  side (and lets chains thread through multiple evicted generations).
+
+``NULL`` (-1) terminates chains in both spaces.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NULL", "encode", "decode"]
+
+#: Chain terminator in both address spaces.
+NULL = -1
+
+
+def encode(region: int, offset: int, page_size: int) -> int:
+    """Pack a (region, offset) pair into a flat address."""
+    if region < 0:
+        raise ValueError(f"negative region index: {region}")
+    if not 0 <= offset < page_size:
+        raise ValueError(f"offset {offset} outside page of size {page_size}")
+    return region * page_size + offset
+
+
+def decode(address: int, page_size: int) -> tuple[int, int]:
+    """Unpack a flat address into its (region, offset) pair."""
+    if address < 0:
+        raise ValueError(f"cannot decode NULL/negative address: {address}")
+    return divmod(address, page_size)

@@ -1,0 +1,105 @@
+"""Bucket-group allocator (Section IV-A).
+
+Allocation load is distributed across the heap's pages by partitioning the
+hash-table buckets into *bucket groups* of ``group_size`` contiguous buckets
+and serving each group from its own current page (per page kind).  Threads
+inserting into different groups therefore bump different free-list pointers,
+which is the paper's scalability trick; the price is fragmentation, because
+a group's page can end an iteration partially full.
+
+An allocation is *postponed* (returns ``None``) when the group's current
+page cannot fit the request and the pool has no fresh page to hand out.
+Failures are sticky within an iteration -- nothing frees pages until the
+end-of-iteration eviction -- and the fraction of failed groups drives the
+basic method's 50%-halt policy (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memalloc.heap import GpuHeap
+from repro.memalloc.pages import Page, PageKind
+
+__all__ = ["AllocationStats", "BucketGroupAllocator"]
+
+
+@dataclass
+class AllocationStats:
+    """Counters over the allocator's lifetime."""
+
+    requests: int = 0
+    postponed: int = 0
+    pages_taken: int = 0
+    bytes_allocated: int = 0
+
+
+@dataclass
+class Allocation:
+    """Result of a successful allocation."""
+
+    page: Page
+    offset: int
+    cpu_addr: int
+    gpu_addr: int
+
+
+class BucketGroupAllocator:
+    """Per-bucket-group bump allocation over heap pages."""
+
+    def __init__(self, heap: GpuHeap, n_groups: int):
+        if n_groups <= 0:
+            raise ValueError(f"need at least one bucket group, got {n_groups}")
+        self.heap = heap
+        self.n_groups = n_groups
+        self._current: dict[tuple[int, PageKind], Page] = {}
+        self._failed_groups: set[int] = set()
+        self.stats = AllocationStats()
+
+    # ------------------------------------------------------------------
+    def allocate(
+        self, group: int, nbytes: int, kind: PageKind = PageKind.GENERIC
+    ) -> Allocation | None:
+        """Allocate ``nbytes`` for ``group``, or None (POSTPONE)."""
+        if not 0 <= group < self.n_groups:
+            raise ValueError(f"group {group} out of range [0, {self.n_groups})")
+        self.stats.requests += 1
+        key = (group, kind)
+        page = self._current.get(key)
+        offset = page.alloc(nbytes) if page is not None else None
+        if offset is None:
+            fresh = self.heap.alloc_page(kind, group)
+            if fresh is None:
+                self._failed_groups.add(group)
+                self.stats.postponed += 1
+                return None
+            self.stats.pages_taken += 1
+            self._current[key] = fresh
+            page = fresh
+            offset = page.alloc(nbytes)
+            assert offset is not None  # nbytes <= page_size is checked by Page
+        self.stats.bytes_allocated += nbytes
+        return Allocation(
+            page=page,
+            offset=offset,
+            cpu_addr=self.heap.cpu_addr(page, offset),
+            gpu_addr=page.slot * self.heap.page_size + offset,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def failed_fraction(self) -> float:
+        """Fraction of bucket groups whose last allocation was postponed."""
+        return len(self._failed_groups) / self.n_groups
+
+    def reset_failures(self) -> None:
+        """Clear sticky failures (called when eviction refills the pool)."""
+        self._failed_groups.clear()
+
+    def drop_stale_pages(self) -> None:
+        """Forget current pages that were evicted out from under us."""
+        self._current = {
+            key: page
+            for key, page in self._current.items()
+            if self.heap.is_resident(page.segment)
+        }

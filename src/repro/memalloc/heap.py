@@ -1,0 +1,211 @@
+"""The GPU heap: resident pages plus the CPU-side segment store.
+
+:class:`GpuHeap` is the centre of the larger-than-memory design.  It owns
+
+* a :class:`~repro.memalloc.pages.PagePool` over a contiguous arena standing
+  in for the pre-allocated GPU heap (sized, per Section IV-A, to whatever
+  device memory remains after other structures),
+* a *residency map* from stable segment ids to the physical slot currently
+  holding each resident page, and
+* the *segment store*: CPU memory receiving page bytes on eviction, indexed
+  by segment id, where they stay addressable through CPU pointers forever.
+
+Because a page's segment id is assigned when the page is taken from the pool
+and never reused, the CPU address of every entry is known the moment it is
+allocated -- that is what makes the paper's dual-pointer scheme possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.gpusim.memory import DeviceMemory
+from repro.memalloc.address import NULL, decode, encode
+from repro.memalloc.pages import Page, PageKind, PagePool
+
+__all__ = ["GpuHeap"]
+
+
+class GpuHeap:
+    """Paged heap with eviction to a CPU-side segment store."""
+
+    def __init__(
+        self,
+        heap_bytes: int,
+        page_size: int,
+        device_memory: DeviceMemory | None = None,
+        name: str = "hashtable-heap",
+    ):
+        if device_memory is not None:
+            device_memory.reserve(name, heap_bytes)
+        self.pool = PagePool(heap_bytes, page_size)
+        self.page_size = page_size
+        #: segment id -> resident Page
+        self._resident: dict[int, Page] = {}
+        #: segment id -> evicted page bytes (a copy, CPU-side)
+        self._store: dict[int, np.ndarray] = {}
+        #: segment id -> (kind, group, used) of the evicted page
+        self._store_meta: dict[int, tuple[PageKind, int, int]] = {}
+        self._next_segment = 0
+        #: bytes copied to CPU over the lifetime of the heap
+        self.bytes_evicted = 0
+        #: unused bytes inside evicted pages (fragmentation, Section IV-A)
+        self.fragmented_bytes = 0
+
+    # ------------------------------------------------------------------
+    # page lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_remaining(
+        cls,
+        device_memory: DeviceMemory,
+        page_size: int,
+        name: str = "hashtable-heap",
+    ) -> "GpuHeap":
+        """Size the heap to all remaining free device memory (Section IV-A)."""
+        free = device_memory.free
+        heap_bytes = (free // page_size) * page_size
+        return cls(heap_bytes, page_size, device_memory, name)
+
+    def alloc_page(self, kind: PageKind, group: int) -> Page | None:
+        """Take a page from the pool, or None when the pool is exhausted."""
+        slot = self.pool.take()
+        if slot is None:
+            return None
+        page = Page(
+            slot=slot,
+            segment=self._next_segment,
+            kind=kind,
+            group=group,
+            page_size=self.page_size,
+        )
+        self._next_segment += 1
+        self._resident[page.segment] = page
+        return page
+
+    def evict(self, pages: Iterable[Page]) -> int:
+        """Copy pages to the segment store and recycle their slots.
+
+        Returns the number of bytes that crossed to CPU memory (full pages:
+        the DMA engine moves whole pages, which is also how the fragmentation
+        cost of partially used pages manifests).
+        """
+        moved = 0
+        for page in pages:
+            if self._resident.get(page.segment) is not page:
+                raise ValueError(f"segment {page.segment} is not resident")
+            self._store[page.segment] = self.pool.slot_view(page.slot).copy()
+            self._store_meta[page.segment] = (page.kind, page.group, page.used)
+            del self._resident[page.segment]
+            self.pool.release(page.slot)
+            moved += self.page_size
+            self.fragmented_bytes += page.free
+        self.bytes_evicted += moved
+        return moved
+
+    def page_in(self, segment: int) -> Page | None:
+        """Bring an evicted segment back into a free heap slot.
+
+        Used by SEPO lookups (the read-direction analogue of eviction).
+        Returns the re-resident page, or None when the pool is exhausted.
+        """
+        if segment in self._resident:
+            return self._resident[segment]
+        if segment not in self._store:
+            raise KeyError(f"segment {segment} was never evicted")
+        slot = self.pool.take()
+        if slot is None:
+            return None
+        kind, group, used = self._store_meta[segment]
+        self.pool.slot_view(slot)[:] = self._store.pop(segment)
+        del self._store_meta[segment]
+        page = Page(
+            slot=slot, segment=segment, kind=kind, group=group,
+            page_size=self.page_size, used=used,
+        )
+        self._resident[segment] = page
+        return page
+
+    def evict_all(self, keep_pinned: bool = False) -> int:
+        """Evict every resident page (optionally retaining pinned ones)."""
+        victims = [
+            p for p in self._resident.values() if not (keep_pinned and p.pinned)
+        ]
+        return self.evict(victims)
+
+    # ------------------------------------------------------------------
+    # residency and addressing
+    # ------------------------------------------------------------------
+    def resident_page(self, segment: int) -> Page | None:
+        return self._resident.get(segment)
+
+    def is_resident(self, segment: int) -> bool:
+        return segment in self._resident
+
+    def addr_resident(self, cpu_addr: int) -> bool:
+        if cpu_addr == NULL:
+            return False
+        segment, _ = decode(cpu_addr, self.page_size)
+        return segment in self._resident
+
+    def gpu_addr(self, cpu_addr: int) -> int:
+        """Translate a CPU address to the current GPU address, or NULL."""
+        if cpu_addr == NULL:
+            return NULL
+        segment, offset = decode(cpu_addr, self.page_size)
+        page = self._resident.get(segment)
+        if page is None:
+            return NULL
+        return encode(page.slot, offset, self.page_size)
+
+    def cpu_addr(self, page: Page, offset: int) -> int:
+        return encode(page.segment, offset, self.page_size)
+
+    # ------------------------------------------------------------------
+    # data access
+    # ------------------------------------------------------------------
+    def resolve(self, cpu_addr: int) -> tuple[np.ndarray, int]:
+        """Return (page buffer, offset) for an address, wherever it lives.
+
+        Resident pages resolve into the GPU arena (a view); evicted pages
+        resolve into their CPU segment-store copy.
+        """
+        segment, offset = decode(cpu_addr, self.page_size)
+        page = self._resident.get(segment)
+        if page is not None:
+            return self.pool.slot_view(page.slot), offset
+        try:
+            return self._store[segment], offset
+        except KeyError:
+            raise KeyError(
+                f"segment {segment} is neither resident nor evicted"
+            ) from None
+
+    def segment_view(self, segment: int) -> np.ndarray:
+        """The bytes of a segment, resident or evicted."""
+        page = self._resident.get(segment)
+        if page is not None:
+            return self.pool.slot_view(page.slot)
+        return self._store[segment]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def resident_pages(self) -> list[Page]:
+        return list(self._resident.values())
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._resident) * self.page_size
+
+    @property
+    def stored_bytes(self) -> int:
+        return len(self._store) * self.page_size
+
+    @property
+    def total_table_bytes(self) -> int:
+        """Footprint of the table so far, resident + evicted."""
+        return self.resident_bytes + self.stored_bytes

@@ -1,0 +1,113 @@
+"""Heap pages and the free-page pool.
+
+The heap arena is divided into fixed-size pages.  Within a page, allocation
+is a bump pointer: hash-table entries are never freed individually -- whole
+pages are reclaimed at once when the heap is evicted, exactly as in the
+paper, where the end-of-iteration copyback "frees up the heap ... adding the
+pages back to the memory pool".
+
+Pages carry a :class:`PageKind` because the multi-valued bucket organization
+stores keys and values on *separate* pages (Section IV-B), which is what
+allows value pages to be evicted while key pages with pending keys are
+retained (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["Page", "PageKind", "PagePool"]
+
+
+class PageKind(Enum):
+    """What a page stores; drives per-kind eviction policies."""
+
+    GENERIC = "generic"  # basic & combining methods: keys and values together
+    KEY = "key"  # multi-valued method: key entries
+    VALUE = "value"  # multi-valued method: value-list nodes
+
+
+@dataclass
+class Page:
+    """A page currently resident in the heap arena."""
+
+    slot: int  # physical slot index in the arena
+    segment: int  # stable segment id (eventual CPU location)
+    kind: PageKind
+    group: int  # bucket group this page serves
+    page_size: int
+    used: int = 0  # bump-allocation watermark
+    #: set for multi-valued KEY pages holding a key with un-inserted values
+    pinned: bool = field(default=False)
+
+    @property
+    def free(self) -> int:
+        return self.page_size - self.used
+
+    def alloc(self, nbytes: int) -> int | None:
+        """Bump-allocate ``nbytes``; returns the offset or None if full."""
+        if nbytes <= 0:
+            raise ValueError(f"allocation size must be positive: {nbytes}")
+        if nbytes > self.page_size:
+            raise ValueError(
+                f"allocation of {nbytes} bytes exceeds page size {self.page_size}"
+            )
+        if nbytes > self.free:
+            return None
+        offset = self.used
+        self.used += nbytes
+        return offset
+
+
+class PagePool:
+    """Owns the heap arena and hands out physical page slots.
+
+    The arena is a single contiguous uint8 buffer, as a real GPU heap would
+    be; views into it are handed around as numpy slices (no copies).
+    """
+
+    def __init__(self, heap_bytes: int, page_size: int):
+        if page_size <= 0:
+            raise ValueError(f"page size must be positive: {page_size}")
+        if heap_bytes < page_size:
+            raise ValueError(
+                f"heap of {heap_bytes} bytes cannot hold a single "
+                f"{page_size}-byte page"
+            )
+        self.page_size = page_size
+        self.n_slots = heap_bytes // page_size
+        self.arena = np.zeros(self.n_slots * page_size, dtype=np.uint8)
+        # LIFO reuse keeps the working set of slots small.
+        self._free_slots: list[int] = list(range(self.n_slots - 1, -1, -1))
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free_slots)
+
+    @property
+    def n_used(self) -> int:
+        return self.n_slots - self.n_free
+
+    def take(self) -> int | None:
+        """Pop a free slot, or None if the pool is exhausted."""
+        if not self._free_slots:
+            return None
+        return self._free_slots.pop()
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the pool (its bytes are considered garbage)."""
+        if not 0 <= slot < self.n_slots:
+            raise ValueError(f"slot {slot} out of range")
+        if slot in self._free_slots:
+            raise ValueError(f"slot {slot} double-released")
+        self._free_slots.append(slot)
+
+    def slot_view(self, slot: int) -> np.ndarray:
+        """The arena bytes backing ``slot`` (a view, not a copy)."""
+        if not 0 <= slot < self.n_slots:
+            raise ValueError(f"slot {slot} out of range")
+        start = slot * self.page_size
+        return self.arena[start : start + self.page_size]

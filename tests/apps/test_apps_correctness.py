@@ -1,0 +1,137 @@
+"""End-to-end application correctness.
+
+For each of the seven applications: generate a small input, run the GPU path
+(scaled so the table exceeds device memory and SEPO iterates) and the CPU
+baseline, and compare both outputs against the pure-Python reference.
+"""
+
+import pytest
+
+from repro.apps import (
+    ALL_APPS,
+    DnaAssembly,
+    GeoLocation,
+    InvertedIndex,
+    Netflix,
+    PageViewCount,
+    PatentCitation,
+    WordCount,
+)
+
+SIZE = 60_000
+# Scale 3 GiB down hard so a ~60 KB input's table overflows device memory.
+TIGHT = dict(scale=1 << 15, n_buckets=1 << 10, page_size=2048,
+             chunk_bytes=16 << 10, group_size=32)
+ROOMY = dict(scale=1 << 10, n_buckets=1 << 12, page_size=8192,
+             chunk_bytes=64 << 10)
+
+
+def normalize(d):
+    return {
+        k: sorted(v) if isinstance(v, list) else v for k, v in d.items()
+    }
+
+
+@pytest.fixture(params=ALL_APPS, ids=lambda cls: cls.name)
+def app(request):
+    return request.param()
+
+
+def test_gpu_matches_reference_with_iterations(app):
+    data = app.generate_input(SIZE, seed=11)
+    ref = app.reference(data)
+    outcome = app.run_gpu(data, **TIGHT)
+    assert normalize(outcome.output()) == normalize(ref)
+    assert outcome.iterations >= 1
+    assert outcome.elapsed_seconds > 0
+
+
+def test_cpu_matches_reference(app):
+    data = app.generate_input(SIZE, seed=11)
+    ref = app.reference(data)
+    outcome = app.run_cpu(data, n_buckets=1 << 12)
+    assert normalize(outcome.output()) == normalize(ref)
+    assert outcome.iterations == 1
+
+
+def test_gpu_and_cpu_agree(app):
+    data = app.generate_input(30_000, seed=3)
+    gpu = app.run_gpu(data, **ROOMY)
+    cpu = app.run_cpu(data, n_buckets=1 << 12)
+    assert normalize(gpu.output()) == normalize(cpu.output())
+
+
+def test_sepo_iterations_forced_somewhere():
+    """At the tight scale, at least the key-heavy apps must iterate."""
+    iterating = 0
+    for cls in (PageViewCount, DnaAssembly, Netflix):
+        app = cls()
+        data = app.generate_input(SIZE, seed=1)
+        if app.run_gpu(data, **TIGHT).iterations > 1:
+            iterating += 1
+    assert iterating >= 2
+
+
+def test_chunking_invariance(app):
+    """Different BigKernel chunk sizes must give identical results."""
+    data = app.generate_input(25_000, seed=7)
+    small = app.run_gpu(data, **{**ROOMY, "chunk_bytes": 4 << 10})
+    large = app.run_gpu(data, **{**ROOMY, "chunk_bytes": 1 << 20})
+    assert normalize(small.output()) == normalize(large.output())
+
+
+@pytest.mark.parametrize("cls", ALL_APPS, ids=lambda c: c.name)
+def test_generator_determinism(cls):
+    app = cls()
+    assert app.generate_input(10_000, seed=4) == app.generate_input(10_000, seed=4)
+
+
+def test_wordcount_vocab_is_size_independent():
+    wc = WordCount(vocab_size=500)
+    small = set(wc.generate_input(20_000).split())
+    large = set(wc.generate_input(200_000).split())
+    assert len(large) <= 500
+    assert len(small) <= 500
+
+
+def test_netflix_partition_keeps_movies_whole():
+    nf = Netflix()
+    data = nf.generate_input(30_000, seed=2)
+    chunks = nf.partition(data, 4 << 10)
+    assert b"".join(chunks) != b""
+    seen = set()
+    for chunk in chunks:
+        movies = {ln.split(b",", 1)[0] for ln in chunk.strip().split(b"\n")}
+        assert not (movies & seen)  # no movie spans two chunks
+        seen |= movies
+
+
+def test_inverted_index_partition_keeps_docs_whole():
+    ii = InvertedIndex()
+    data = ii.generate_input(30_000, seed=2)
+    chunks = ii.partition(data, 4 << 10)
+    for chunk in chunks:
+        assert chunk.startswith(b"--FILE:")
+    total_docs = data.count(b"--FILE:")
+    assert sum(c.count(b"--FILE:") for c in chunks) == total_docs
+
+
+def test_dna_parse_is_vectorized_consistent():
+    dna = DnaAssembly(read_len=32, k=8, step=4)
+    data = dna.generate_input(5_000, seed=0)
+    batch = dna.parse_chunk(data)
+    ref = dna.reference(data)
+    # Reduce the batch in python and compare against reference.
+    acc = {}
+    for i in range(len(batch)):
+        k = batch.key_bytes(i)
+        acc[k] = acc.get(k, 0) | int(batch.numeric_values[i])
+    assert acc == ref
+
+
+def test_mapreduce_apps_expose_jobs():
+    for cls in (WordCount, GeoLocation, PatentCitation):
+        job = cls().make_job()
+        assert job.name == cls.name
+    with pytest.raises(AttributeError):
+        PageViewCount().make_job()

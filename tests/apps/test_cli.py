@@ -1,0 +1,40 @@
+"""The `python -m repro.apps` command-line runner."""
+
+import pytest
+
+from repro.apps.__main__ import APPS, main
+
+
+def test_all_seven_apps_registered():
+    assert len(APPS) == 7
+
+
+@pytest.mark.parametrize("device", ["gpu", "cpu", "pinned"])
+def test_cli_runs_and_verifies(device, capsys):
+    rc = main(["pvc", "--size", "60000", "--device", device,
+               "--scale", "8192", "--buckets", "1024"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Page View Count" in out
+    assert "verified against the reference" in out
+    assert "simulated time" in out
+
+
+def test_cli_grouping_app(capsys):
+    rc = main(["patent-citation", "--size", "40000", "--scale", "8192",
+               "--buckets", "1024", "--top", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "top 3" in out
+
+
+def test_cli_no_verify_skips_check(capsys):
+    rc = main(["wordcount", "--size", "30000", "--scale", "8192",
+               "--buckets", "1024", "--no-verify"])
+    assert rc == 0
+    assert "verified" not in capsys.readouterr().out
+
+
+def test_cli_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["not-an-app"])

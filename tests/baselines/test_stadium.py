@@ -1,0 +1,76 @@
+"""Stadium-hashing comparator (related work, reference [8])."""
+
+import numpy as np
+import pytest
+
+from repro.apps import PageViewCount
+from repro.baselines.stadium import IndexFull, StadiumHashTable
+from repro.core.combiners import SUM_I64
+from repro.core.records import RecordBatch
+
+
+def numeric_batch(pairs):
+    return RecordBatch.from_numeric(
+        [k for k, _ in pairs],
+        np.array([v for _, v in pairs], dtype=np.int64),
+    )
+
+
+def test_output_semantics_with_combiner():
+    t = StadiumHashTable(256, SUM_I64, scale=1 << 12)
+    res = t.run([numeric_batch([(b"a", 1), (b"b", 2), (b"a", 3)])])
+    assert res.output == {b"a": 4, b"b": 2}
+
+
+def test_duplicates_stored_separately():
+    """The related-work criticism: duplicate keys each take a slot and a
+    remote write."""
+    t = StadiumHashTable(256, SUM_I64, scale=1 << 12)
+    res = t.run([numeric_batch([(b"hot", 1)] * 50)])
+    assert res.stored_pairs == 50
+    assert res.remote_writes == 50
+    assert res.output == {b"hot": 50}
+
+
+def test_grouping_without_combiner():
+    t = StadiumHashTable(64, None, scale=1 << 12)
+    batch = RecordBatch.from_pairs([(b"k", b"v1"), (b"k", b"v2")])
+    res = t.run([batch])
+    assert sorted(res.output[b"k"]) == [b"v1", b"v2"]
+
+
+def test_index_full_raises():
+    t = StadiumHashTable(32, SUM_I64, scale=1 << 12)
+    with pytest.raises(IndexFull):
+        t.run([numeric_batch([(b"k%d" % i, 1) for i in range(40)])])
+
+
+def test_linear_probing_counts_probes():
+    t = StadiumHashTable(64, SUM_I64, scale=1 << 12, max_load=1.0)
+    res = t.run([numeric_batch([(b"key-%02d" % i, 1) for i in range(60)])])
+    # 60 inserts into 64 slots: collisions force extra probes.
+    assert res.index_probes > 60
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StadiumHashTable(0, SUM_I64)
+    with pytest.raises(ValueError):
+        StadiumHashTable(16, SUM_I64, max_load=0.0)
+
+
+def test_sepo_beats_stadium_on_duplicate_heavy_workload():
+    """Every Stadium insert crosses PCIe; SEPO combines duplicates on the
+    GPU and crosses once per table byte."""
+    app = PageViewCount(n_urls_per_byte=1 / 400)
+    data = app.generate_input(150_000, seed=9)
+    batches = app.batches(data, 32 << 10)
+    sepo = app.run_gpu(data, scale=1 << 12, n_buckets=1 << 12,
+                       page_size=4096, chunk_bytes=32 << 10, batches=batches)
+    n_records = sum(len(b) for b in batches)
+    stadium = StadiumHashTable(
+        2 * n_records, SUM_I64, scale=1 << 12, chunk_bytes=32 << 10
+    ).run(batches)
+    assert stadium.output == sepo.output()
+    assert sepo.elapsed_seconds < stadium.elapsed_seconds
+    assert stadium.remote_writes == n_records

@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines import AccessTrace
+
+
+def test_empty_trace():
+    t = AccessTrace()
+    assert len(t) == 0
+    assert t.total_bytes == 0
+    assert t.page_trace(4096).size == 0
+    assert t.footprint_bytes(4096) == 0
+
+
+def test_record_and_read_back():
+    t = AccessTrace()
+    t.on_access(100, 24)
+    t.on_access(5000, 8)
+    assert len(t) == 2
+    assert list(t.addresses()) == [100, 5000]
+    assert list(t.sizes()) == [24, 8]
+    assert t.total_bytes == 32
+
+
+def test_page_trace_simple():
+    t = AccessTrace()
+    t.on_access(0, 8)       # page 0
+    t.on_access(4096, 8)    # page 1
+    t.on_access(8191, 1)    # page 1
+    assert list(t.page_trace(4096)) == [0, 1, 1]
+
+
+def test_page_trace_straddling_access():
+    t = AccessTrace()
+    t.on_access(4090, 16)  # spans pages 0 and 1
+    assert list(t.page_trace(4096)) == [0, 1]
+
+
+def test_page_trace_straddler_order_preserved():
+    t = AccessTrace()
+    t.on_access(0, 8)
+    t.on_access(4090, 16)
+    t.on_access(9000, 4)
+    assert list(t.page_trace(4096)) == [0, 0, 1, 2]
+
+
+def test_footprint_counts_distinct_pages():
+    t = AccessTrace()
+    for _ in range(10):
+        t.on_access(0, 8)
+    t.on_access(4096 * 7, 8)
+    assert t.footprint_bytes(4096) == 2 * 4096
+
+
+def test_bad_page_size():
+    with pytest.raises(ValueError):
+        AccessTrace().page_trace(0)
+
+
+def test_table_integration_records_inserts():
+    from repro.core import CombiningOrganization, GpuHashTable, SUM_I64
+    from repro.core.records import RecordBatch
+    from repro.memalloc import GpuHeap
+    import numpy as np
+
+    trace = AccessTrace()
+    table = GpuHashTable(
+        16, CombiningOrganization(SUM_I64), GpuHeap(4096, 512),
+        group_size=4, trace=trace,
+    )
+    batch = RecordBatch.from_numeric(
+        [b"a", b"a", b"b"], np.array([1, 1, 1], dtype=np.int64)
+    )
+    table.insert_batch(batch)
+    assert len(trace) >= 3  # insert, probe+combine, insert
+
+
+@given(st.lists(st.tuples(st.integers(0, 1 << 20), st.integers(1, 64)),
+                min_size=1, max_size=100))
+def test_page_trace_matches_reference(accesses):
+    t = AccessTrace()
+    ref = []
+    for addr, size in accesses:
+        t.on_access(addr, size)
+        first, last = addr // 512, (addr + size - 1) // 512
+        ref.append(first)
+        if last != first:
+            ref.append(last)
+    assert list(t.page_trace(512)) == ref

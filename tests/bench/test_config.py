@@ -1,0 +1,56 @@
+import pytest
+
+from repro.bench.config import BenchConfig, PAPER_DATASETS_GB
+
+
+def test_all_seven_apps_have_dataset_rows():
+    assert len(PAPER_DATASETS_GB) == 7
+    for sizes in PAPER_DATASETS_GB.values():
+        assert len(sizes) == 4
+        assert list(sizes) == sorted(sizes)  # datasets grow
+
+
+def test_paper_values_match_table_one():
+    assert PAPER_DATASETS_GB["Page View Count"] == (0.6, 2.2, 3.8, 5.8)
+    assert PAPER_DATASETS_GB["DNA Assembly"] == (2.0, 4.0, 6.0, 8.0)
+    assert PAPER_DATASETS_GB["Word Count"] == (0.2, 2.0, 3.0, 4.0)
+
+
+def test_dataset_bytes_scaling():
+    c = BenchConfig(scale=1000)
+    assert c.dataset_bytes("Word Count", 1) == int(0.2e9 / 1000)
+    assert c.dataset_bytes("DNA Assembly", 4) == int(8e9 / 1000)
+
+
+def test_dataset_index_validated():
+    c = BenchConfig(scale=1000)
+    with pytest.raises(ValueError):
+        c.dataset_bytes("Word Count", 0)
+    with pytest.raises(ValueError):
+        c.dataset_bytes("Word Count", 5)
+    with pytest.raises(KeyError):
+        c.dataset_bytes("No Such App", 1)
+
+
+def test_n_buckets_scales_with_floor():
+    assert BenchConfig(scale=1 << 10).n_buckets == (1 << 23) >> 10
+    assert BenchConfig(scale=1 << 30).n_buckets == 1 << 10  # floor
+
+
+def test_scale_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "512")
+    assert BenchConfig().scale == 512
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(ValueError):
+        BenchConfig(scale=0)
+
+
+def test_kwargs_helpers():
+    c = BenchConfig(scale=2048)
+    gk = c.gpu_kwargs()
+    assert gk["scale"] == 2048
+    assert gk["n_buckets"] == c.n_buckets
+    ck = c.cpu_kwargs()
+    assert ck == {"n_buckets": c.n_buckets, "group_size": c.group_size}

@@ -1,0 +1,56 @@
+import json
+
+import pytest
+
+from repro.bench.config import BenchConfig
+from repro.bench.export import rows_to_json, write_json
+from repro.bench.fig6 import Fig6Cell
+
+
+def make_cell():
+    return Fig6Cell(
+        app="Page View Count", dataset=2, input_bytes=1000,
+        gpu_seconds=0.5, cpu_seconds=1.5, iterations=3,
+        table_bytes=2048, heap_bytes=1024,
+    )
+
+
+def test_dataclass_rows_serialize_with_properties():
+    doc = json.loads(rows_to_json("fig6", [make_cell()], scale=1024, seed=0))
+    assert doc["experiment"] == "fig6"
+    assert doc["scale"] == 1024
+    row = doc["rows"][0]
+    assert row["app"] == "Page View Count"
+    assert row["speedup"] == pytest.approx(3.0)
+    assert row["table_over_memory"] == pytest.approx(2.0)
+
+
+def test_nested_dict_sections_serialize():
+    doc = json.loads(
+        rows_to_json("ablations", {"a": [make_cell()]}, scale=64, seed=1)
+    )
+    assert doc["rows"]["a"][0]["dataset"] == 2
+
+
+def test_bytes_decoded():
+    doc = json.loads(rows_to_json("x", [{"key": b"abc"}], 1, 0))
+    assert doc["rows"][0]["key"] == "abc"
+
+
+def test_write_json_roundtrip(tmp_path):
+    path = tmp_path / "out.json"
+    write_json(str(path), "table1", [make_cell()], 2048, 7)
+    doc = json.loads(path.read_text())
+    assert doc["seed"] == 7
+    assert len(doc["rows"]) == 1
+
+
+def test_cli_json_flag(tmp_path, capsys):
+    from repro.bench.__main__ import main
+
+    out = tmp_path / "t1.json"
+    assert main(["table1", "--scale", str(1 << 15), "--json", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["experiment"] == "table1"
+    assert len(doc["rows"]) == 7
+    capsys.readouterr()

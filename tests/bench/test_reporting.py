@@ -1,0 +1,56 @@
+import pytest
+
+from repro.bench.reporting import fmt_bytes, fmt_seconds, render_bars, render_table
+
+
+def test_fmt_seconds_ranges():
+    assert fmt_seconds(0) == "0.00s"
+    assert fmt_seconds(5e-6) == "5.0us"
+    assert fmt_seconds(2.5e-3) == "2.50ms"
+    assert fmt_seconds(1.5) == "1.50s"
+
+
+def test_fmt_bytes_ranges():
+    assert fmt_bytes(512) == "512B"
+    assert fmt_bytes(2048) == "2.0KB"
+    assert fmt_bytes(3 * 1024**2) == "3.0MB"
+    assert fmt_bytes(5 * 1024**3) == "5.0GB"
+
+
+def test_render_table_alignment():
+    out = render_table(["name", "n"], [("alpha", 1), ("b", 22)])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert all(len(l) <= len(max(lines, key=len)) for l in lines)
+    assert "alpha" in lines[2]
+
+
+def test_render_table_empty_rows():
+    out = render_table(["a"], [])
+    assert "a" in out
+
+
+def test_render_bars_basic():
+    out = render_bars(["x", "longer"], [1.0, 2.0])
+    lines = out.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("#") > lines[0].count("#")
+    assert "2.00x" in lines[1]
+
+
+def test_render_bars_annotations():
+    out = render_bars(["a"], [1.0], annotations=["3 iter"])
+    assert "[3 iter]" in out
+
+
+def test_render_bars_zero_values():
+    out = render_bars(["a"], [0.0])
+    assert "0.00x" in out
+
+
+def test_render_bars_mismatched_inputs():
+    with pytest.raises(ValueError):
+        render_bars(["a"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        render_bars(["a"], [1.0], annotations=["x", "y"])

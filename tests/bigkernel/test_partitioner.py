@@ -1,0 +1,69 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bigkernel import partition_lines, partition_sequence
+
+
+def test_partition_lines_reassembles():
+    data = b"".join(b"line-%04d\n" % i for i in range(500))
+    chunks = partition_lines(data, 256)
+    assert b"".join(chunks) == data
+    assert len(chunks) > 1
+
+
+def test_chunks_end_on_record_boundaries():
+    data = b"".join(b"record-%d\n" % i for i in range(100))
+    for chunk in partition_lines(data, 64)[:-1]:
+        assert chunk.endswith(b"\n")
+
+
+def test_no_record_torn():
+    data = b"aaaa\nbbbb\ncccc\n"
+    chunks = partition_lines(data, 6)
+    for chunk in chunks:
+        for line in chunk.strip().split(b"\n"):
+            assert line in (b"aaaa", b"bbbb", b"cccc")
+
+
+def test_single_record_longer_than_chunk():
+    data = b"x" * 100 + b"\nshort\n"
+    chunks = partition_lines(data, 10)
+    assert chunks[0] == b"x" * 100 + b"\n"
+
+
+def test_unterminated_tail_kept():
+    data = b"one\ntwo\nthree"
+    chunks = partition_lines(data, 8)
+    assert b"".join(chunks) == data
+
+
+def test_empty_input():
+    assert partition_lines(b"", 128) == []
+
+
+def test_bad_chunk_size():
+    with pytest.raises(ValueError):
+        partition_lines(b"x\n", 0)
+
+
+@given(
+    st.lists(st.binary(min_size=0, max_size=30).map(
+        lambda b: b.replace(b"\n", b"x")), min_size=0, max_size=50),
+    st.integers(1, 100),
+)
+def test_partition_lines_lossless_property(lines, chunk_bytes):
+    data = b"".join(ln + b"\n" for ln in lines)
+    chunks = partition_lines(data, chunk_bytes)
+    assert b"".join(chunks) == data
+    assert all(chunks)  # no empty chunks
+
+
+def test_partition_sequence():
+    chunks = partition_sequence(list(range(10)), 3)
+    assert chunks == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+
+def test_partition_sequence_bad_size():
+    with pytest.raises(ValueError):
+        partition_sequence([1], 0)

@@ -1,0 +1,74 @@
+import pytest
+
+from repro.bigkernel import BigKernelPipeline
+from repro.gpusim import CostCategory, CostLedger, PCIeBus
+
+
+def make(stage=None):
+    ledger = CostLedger()
+    bus = PCIeBus(ledger)
+    return BigKernelPipeline(bus, stage_buffer_bytes=stage), ledger, bus
+
+
+def test_first_chunk_fully_exposed():
+    pipe, ledger, bus = make()
+    pipe.begin_pass()
+    exposed = pipe.account(1 << 20, kernel_seconds=1.0)
+    assert exposed == pytest.approx(bus.transfer_time(1 << 20, 1))
+
+
+def test_later_chunks_hidden_behind_kernel():
+    pipe, ledger, bus = make()
+    pipe.begin_pass()
+    pipe.account(1 << 20, 1.0)
+    exposed = pipe.account(1 << 20, kernel_seconds=1.0)  # transfer ~87us
+    assert exposed == 0.0
+
+
+def test_partial_exposure_when_kernel_short():
+    pipe, ledger, bus = make()
+    pipe.begin_pass()
+    pipe.account(1 << 20, 1.0)
+    t_full = bus.transfer_time(1 << 20, 1)
+    exposed = pipe.account(1 << 20, kernel_seconds=t_full / 2)
+    assert exposed == pytest.approx(t_full / 2, rel=1e-6)
+
+
+def test_traffic_counted_even_when_hidden():
+    pipe, ledger, bus = make()
+    pipe.begin_pass()
+    pipe.account(1 << 20, 1.0)
+    pipe.account(1 << 20, 1.0)
+    assert bus.bytes_moved == 2 << 20
+    assert pipe.chunks_streamed == 2
+
+
+def test_new_pass_pays_fill_again():
+    pipe, ledger, bus = make()
+    pipe.begin_pass()
+    pipe.account(1 << 20, 10.0)
+    pipe.begin_pass()
+    exposed = pipe.account(1 << 20, 10.0)
+    assert exposed > 0
+
+
+def test_stage_buffer_enforced():
+    pipe, _, _ = make(stage=1024)
+    pipe.begin_pass()
+    with pytest.raises(ValueError):
+        pipe.account(2048, 0.0)
+
+
+def test_negative_rejected():
+    pipe, _, _ = make()
+    with pytest.raises(ValueError):
+        pipe.account(-1, 0.0)
+    with pytest.raises(ValueError):
+        pipe.account(1, -0.5)
+
+
+def test_exposed_charged_to_pcie_category():
+    pipe, ledger, _ = make()
+    pipe.begin_pass()
+    pipe.account(1 << 20, 0.0)
+    assert ledger.spent(CostCategory.PCIE) > 0

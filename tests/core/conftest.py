@@ -1,0 +1,61 @@
+"""Shared builders for core-level tests: tiny tables with tiny heaps."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BasicOrganization,
+    CombiningOrganization,
+    GpuHashTable,
+    MultiValuedOrganization,
+    SUM_I64,
+)
+from repro.memalloc import GpuHeap
+
+
+def make_table(
+    org,
+    heap_bytes=4096,
+    page_size=512,
+    n_buckets=64,
+    group_size=16,
+    trace=None,
+):
+    heap = GpuHeap(heap_bytes, page_size)
+    return GpuHashTable(
+        n_buckets=n_buckets,
+        organization=org,
+        heap=heap,
+        group_size=group_size,
+        trace=trace,
+    )
+
+
+@pytest.fixture
+def combining_table():
+    return make_table(CombiningOrganization(SUM_I64))
+
+
+@pytest.fixture
+def basic_table():
+    return make_table(BasicOrganization())
+
+
+@pytest.fixture
+def multivalued_table():
+    return make_table(MultiValuedOrganization())
+
+
+def numeric_batch(pairs):
+    """pairs: list of (key bytes, int value)."""
+    from repro.core import RecordBatch
+
+    keys = [k for k, _ in pairs]
+    vals = np.array([v for _, v in pairs], dtype=np.int64)
+    return RecordBatch.from_numeric(keys, vals)
+
+
+def byte_batch(pairs):
+    from repro.core import RecordBatch
+
+    return RecordBatch.from_pairs(pairs)

@@ -1,0 +1,139 @@
+"""Table persistence: save/load round-trips for every organization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BasicOrganization,
+    CallbackCombiner,
+    CombiningOrganization,
+    MultiValuedOrganization,
+    SUM_I64,
+)
+from repro.core.checkpoint import (
+    CheckpointError,
+    FrozenTable,
+    load_table,
+    save_table,
+)
+from tests.core.conftest import byte_batch, make_table, numeric_batch
+
+
+def roundtrip(table, tmp_path):
+    path = tmp_path / "table.npz"
+    save_table(table, path)
+    return load_table(path)
+
+
+def test_combining_roundtrip(tmp_path):
+    t = make_table(CombiningOrganization(SUM_I64))
+    t.insert_batch(numeric_batch([(b"a", 1), (b"b", 2), (b"a", 3)]))
+    t.end_iteration()
+    frozen = roundtrip(t, tmp_path)
+    assert frozen.result() == t.result() == {b"a": 4, b"b": 2}
+    assert frozen.get(b"a") == 4
+    assert frozen.get(b"missing") is None
+
+
+def test_save_with_resident_pages(tmp_path):
+    """Saving snapshots resident pages too, without mutating the table."""
+    t = make_table(CombiningOrganization(SUM_I64))
+    t.insert_batch(numeric_batch([(b"live", 7)]))
+    frozen = roundtrip(t, tmp_path)
+    assert frozen.result() == {b"live": 7}
+    assert t.heap.resident_pages  # untouched
+
+
+def test_cross_iteration_residue_survives(tmp_path):
+    t = make_table(CombiningOrganization(SUM_I64), heap_bytes=512,
+                   page_size=256, n_buckets=16, group_size=8)
+    got = t.insert_batch(
+        numeric_batch([(f"k{i:03d}".encode(), 1) for i in range(60)])
+    )
+    t.end_iteration()
+    key = f"k{int(np.flatnonzero(got.success)[0]):03d}".encode()
+    t.insert_batch(numeric_batch([(key, 10)]))
+    t.end_iteration()
+    frozen = roundtrip(t, tmp_path)
+    assert frozen.get(key) == 11
+
+
+def test_basic_roundtrip(tmp_path):
+    t = make_table(BasicOrganization())
+    t.insert_batch(byte_batch([(b"k", b"v1"), (b"k", b"v2"), (b"j", b"")]))
+    t.end_iteration()
+    frozen = roundtrip(t, tmp_path)
+    assert sorted(frozen.get(b"k")) == [b"v1", b"v2"]
+    assert frozen.result() == t.result()
+
+
+def test_multivalued_roundtrip(tmp_path):
+    t = make_table(MultiValuedOrganization())
+    t.insert_batch(byte_batch([(b"link", b"p1"), (b"link", b"p2"),
+                               (b"other", b"p3")]))
+    t.end_iteration()
+    frozen = roundtrip(t, tmp_path)
+    assert sorted(frozen.get(b"link")) == [b"p1", b"p2"]
+    assert frozen.result() == {
+        k: v for k, v in t.result().items()
+    }
+
+
+def test_callback_combiner_refuses_to_save(tmp_path):
+    comb = CallbackCombiner(lambda a, b: a * b)
+    t = make_table(CombiningOrganization(comb))
+    t.insert(b"k", 2)
+    with pytest.raises(CheckpointError):
+        save_table(t, tmp_path / "x.npz")
+
+
+def test_corrupt_archive_rejected(tmp_path):
+    path = tmp_path / "bad.npz"
+    np.savez(path, nonsense=np.zeros(3))
+    with pytest.raises(CheckpointError):
+        load_table(path)
+
+
+def test_version_checked(tmp_path):
+    t = make_table(CombiningOrganization(SUM_I64))
+    t.insert(b"k", 1)
+    path = tmp_path / "t.npz"
+    save_table(t, path)
+    # Tamper with the version field.
+    import json
+
+    with np.load(path) as a:
+        meta = json.loads(bytes(a["meta"]).decode())
+        arrays = {k: a[k] for k in a.files}
+    meta["version"] = 99
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+    with pytest.raises(CheckpointError):
+        load_table(path)
+
+
+def test_frozen_table_validates_combiner():
+    with pytest.raises(CheckpointError):
+        FrozenTable("combining", None, 256, np.array([-1]), {})
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.tuples(st.binary(min_size=1, max_size=10),
+                          st.integers(-100, 100)),
+                min_size=1, max_size=40))
+def test_roundtrip_property(tmp_path_factory, pairs):
+    t = make_table(CombiningOrganization(SUM_I64), heap_bytes=2048,
+                   page_size=256, n_buckets=16, group_size=4)
+    from repro.core import GpuHashTable, SepoDriver
+    from repro.gpusim import CostLedger, GTX_780TI, KernelModel, PCIeBus
+
+    driver = SepoDriver(
+        t, KernelModel(GTX_780TI, t.ledger), PCIeBus(t.ledger)
+    )
+    driver.run([numeric_batch(pairs)])
+    path = tmp_path_factory.mktemp("ckpt") / "t.npz"
+    save_table(t, path)
+    frozen = load_table(path)
+    assert frozen.result() == t.result()

@@ -1,0 +1,54 @@
+import numpy as np
+import pytest
+
+from repro.core import (
+    BITOR_U64,
+    CallbackCombiner,
+    Combiner,
+    MAX_I64,
+    MIN_I64,
+    SUM_F64,
+    SUM_I64,
+)
+
+
+def test_sum_i64():
+    assert SUM_I64.combine(2, 3) == 5
+    assert SUM_I64.dtype == np.int64
+    assert SUM_I64.value_size == 8
+
+
+def test_sum_f64():
+    assert SUM_F64.combine(0.5, 0.25) == pytest.approx(0.75)
+    assert SUM_F64.dtype == np.float64
+
+
+def test_max_min():
+    assert MAX_I64.combine(2, 9) == 9
+    assert MIN_I64.combine(2, 9) == 2
+
+
+def test_bitor():
+    assert BITOR_U64.combine(0b0101, 0b0011) == 0b0111
+
+
+def test_pack_unpack_roundtrip():
+    for comb, v in [(SUM_I64, -7), (SUM_F64, 3.5), (BITOR_U64, 2**63)]:
+        assert comb.unpack(comb.pack(v)) == v
+        assert len(comb.pack(v)) == 8
+
+
+def test_callback_combiner():
+    c = CallbackCombiner(lambda a, b: a * b, scalar="i64", name="prod")
+    assert c.combine(3, 4) == 12
+    assert c.name == "prod"
+
+
+def test_unsupported_scalar_rejected():
+    with pytest.raises(ValueError):
+        Combiner("bad", "i32", lambda a, b: a)
+
+
+def test_combiner_is_frozen():
+    with pytest.raises(AttributeError):
+        SUM_I64.name = "x"  # type: ignore[misc]

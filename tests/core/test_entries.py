@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.core import entries as E
+from repro.memalloc.address import NULL
+
+
+@pytest.fixture
+def buf():
+    return np.zeros(512, dtype=np.uint8)
+
+
+def test_aligned():
+    assert E.aligned(0) == 0
+    assert E.aligned(1) == 8
+    assert E.aligned(8) == 8
+    assert E.aligned(25) == 32
+
+
+def test_entry_roundtrip(buf):
+    E.write_entry(buf, 16, next_gpu=1234, next_cpu=5678, key=b"url", value=b"\x07")
+    ng, nc, klen, vlen = E.read_entry_header(buf, 16)
+    assert (ng, nc, klen, vlen) == (1234, 5678, 3, 1)
+    assert E.entry_key(buf, 16, klen) == b"url"
+    assert E.entry_value(buf, 16, klen, vlen) == b"\x07"
+
+
+def test_entry_null_pointers(buf):
+    E.write_entry(buf, 0, NULL, NULL, b"k", b"v")
+    ng, nc, _, _ = E.read_entry_header(buf, 0)
+    assert ng == NULL and nc == NULL
+
+
+def test_entry_empty_value(buf):
+    E.write_entry(buf, 0, NULL, NULL, b"key", b"")
+    _, _, klen, vlen = E.read_entry_header(buf, 0)
+    assert vlen == 0
+    assert E.entry_value(buf, 0, klen, vlen) == b""
+
+
+def test_set_entry_value_in_place(buf):
+    E.write_entry(buf, 8, NULL, NULL, b"cnt", (1).to_bytes(8, "little"))
+    E.set_entry_value(buf, 8, 3, (42).to_bytes(8, "little"))
+    _, _, klen, vlen = E.read_entry_header(buf, 8)
+    assert int.from_bytes(E.entry_value(buf, 8, klen, vlen), "little") == 42
+
+
+def test_set_next_ptrs(buf):
+    E.write_entry(buf, 0, 1, 2, b"k", b"v")
+    E.set_next_ptrs(buf, 0, 100, 200)
+    ng, nc, _, _ = E.read_entry_header(buf, 0)
+    assert (ng, nc) == (100, 200)
+
+
+def test_entry_size_alignment():
+    assert E.entry_size(3, 1) % 8 == 0
+    assert E.entry_size(3, 1) >= E.ENTRY_HEADER + 4
+
+
+def test_key_entry_roundtrip(buf):
+    E.write_key_entry(buf, 32, next_gpu=7, next_cpu=8, key=b"hyperlink")
+    ng, nc, vg, vc, klen, flags = E.read_key_entry_header(buf, 32)
+    assert (ng, nc) == (7, 8)
+    assert (vg, vc) == (NULL, NULL)  # fresh key entry has an empty value list
+    assert flags == 0
+    assert E.key_entry_key(buf, 32, klen) == b"hyperlink"
+
+
+def test_key_entry_vhead_update(buf):
+    E.write_key_entry(buf, 0, NULL, NULL, b"k")
+    E.set_vhead(buf, 0, 111, 222)
+    _, _, vg, vc, _, _ = E.read_key_entry_header(buf, 0)
+    assert (vg, vc) == (111, 222)
+
+
+def test_key_entry_flags(buf):
+    E.write_key_entry(buf, 0, NULL, NULL, b"k")
+    E.set_flags(buf, 0, E.FLAG_PENDING)
+    assert E.get_flags(buf, 0) & E.FLAG_PENDING
+    E.set_flags(buf, 0, 0)
+    assert E.get_flags(buf, 0) == 0
+
+
+def test_value_node_roundtrip(buf):
+    E.write_value_node(buf, 40, vnext_gpu=5, vnext_cpu=6, value=b"a.html")
+    vg, vc, vlen = E.read_value_node_header(buf, 40)
+    assert (vg, vc) == (5, 6)
+    assert E.value_node_value(buf, 40, vlen) == b"a.html"
+
+
+def test_value_node_empty_value(buf):
+    E.write_value_node(buf, 0, NULL, NULL, b"")
+    _, _, vlen = E.read_value_node_header(buf, 0)
+    assert vlen == 0
+
+
+def test_sizes_include_headers():
+    assert E.key_entry_size(5) >= E.KEY_ENTRY_HEADER + 5
+    assert E.value_node_size(5) >= E.VALUE_NODE_HEADER + 5
+    assert E.key_entry_size(5) % 8 == 0
+    assert E.value_node_size(5) % 8 == 0
+
+
+def test_entries_do_not_clobber_neighbours(buf):
+    E.write_entry(buf, 0, NULL, NULL, b"aa", b"11")
+    size = E.entry_size(2, 2)
+    E.write_entry(buf, size, NULL, NULL, b"bb", b"22")
+    _, _, klen, vlen = E.read_entry_header(buf, 0)
+    assert E.entry_key(buf, 0, klen) == b"aa"
+    assert E.entry_value(buf, 0, klen, vlen) == b"11"

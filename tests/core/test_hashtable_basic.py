@@ -1,0 +1,87 @@
+"""Basic method: duplicate keys stored as separate entries; 50% halt policy."""
+
+import pytest
+
+from repro.core import BasicOrganization
+from tests.core.conftest import byte_batch, make_table
+
+
+def test_duplicates_kept_separately(basic_table):
+    t = basic_table
+    t.insert_batch(byte_batch([(b"k", b"v1"), (b"k", b"v2"), (b"j", b"x")]))
+    t.end_iteration()
+    out = t.result()
+    assert sorted(out[b"k"]) == [b"v1", b"v2"]
+    assert out[b"j"] == [b"x"]
+
+
+def test_variable_length_values(basic_table):
+    t = basic_table
+    pairs = [(b"k", b"a" * n) for n in (0, 1, 17, 100)]
+    res = t.insert_batch(byte_batch(pairs))
+    assert res.success.all()
+    t.end_iteration()
+    assert sorted(t.result()[b"k"], key=len) == [p[1] for p in pairs]
+
+
+def test_insertion_order_newest_first_in_cpu_chain(basic_table):
+    t = basic_table
+    t.insert_batch(byte_batch([(b"k", b"first"), (b"k", b"second")]))
+    items = [v for k, v in t.cpu_items() if k == b"k"]
+    assert items == [b"second", b"first"]  # head insertion
+
+
+def test_halt_policy_threshold():
+    t = make_table(BasicOrganization(halt_threshold=0.5), heap_bytes=512,
+                   page_size=256, n_buckets=64, group_size=32)  # 2 groups
+    assert not t.should_halt()
+    # Exhaust the pool, then fail one of the two groups.
+    big = b"x" * 200
+    t.insert_batch(byte_batch([(b"a", big), (b"b", big)]))  # may take both pages
+    while t.heap.pool.n_free and t.insert_batch(byte_batch([(b"a", big)])).n_success:
+        pass
+    # Keep inserting until a postpone happens.
+    r = t.insert_batch(byte_batch([(b"zz", big)] * 4))
+    if r.n_postponed == 0:
+        r = t.insert_batch(byte_batch([(b"qq", big)] * 4))
+    assert t.alloc.failed_fraction > 0
+    assert t.should_halt() == (t.alloc.failed_fraction >= 0.5)
+
+
+def test_bad_threshold_rejected():
+    with pytest.raises(ValueError):
+        BasicOrganization(halt_threshold=0.0)
+    with pytest.raises(ValueError):
+        BasicOrganization(halt_threshold=1.5)
+
+
+def test_eviction_resets_failures():
+    t = make_table(BasicOrganization(), heap_bytes=512, page_size=256,
+                   n_buckets=8, group_size=1)
+    big = b"x" * 200
+    while t.insert_batch(byte_batch([(b"k", big)])).n_success:
+        pass
+    assert t.alloc.failed_fraction > 0
+    t.end_iteration()
+    assert t.alloc.failed_fraction == 0.0
+    assert t.heap.pool.n_free == t.heap.pool.n_slots
+
+
+def test_no_probing_on_insert(basic_table):
+    res = basic_table.insert_batch(byte_batch([(b"k", b"v")] * 10))
+    assert res.tally.probe_steps == 0
+
+
+def test_result_after_multiple_evictions():
+    t = make_table(BasicOrganization(), heap_bytes=1024, page_size=256,
+                   n_buckets=16, group_size=16)
+    all_pairs = []
+    for round_ in range(3):
+        pairs = [(f"k{round_}".encode(), f"v{i}".encode()) for i in range(5)]
+        all_pairs += pairs
+        res = t.insert_batch(byte_batch(pairs))
+        assert res.success.all()
+        t.end_iteration()
+    out = t.result()
+    assert sum(len(v) for v in out.values()) == len(all_pairs)
+    assert sorted(out[b"k1"]) == [b"v0", b"v1", b"v2", b"v3", b"v4"]

@@ -1,0 +1,128 @@
+"""Combining method: in-place value reduction on duplicate keys."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.core import CombiningOrganization, RecordBatch, SUM_F64, SUM_I64
+from tests.core.conftest import make_table, numeric_batch
+
+
+def test_single_insert_and_result(combining_table):
+    t = combining_table
+    assert t.insert(b"url-a", 1)
+    t.end_iteration()
+    assert t.result() == {b"url-a": 1}
+
+
+def test_duplicate_keys_combine_in_place(combining_table):
+    t = combining_table
+    batch = numeric_batch([(b"u", 1), (b"u", 1), (b"u", 3), (b"v", 2)])
+    res = t.insert_batch(batch)
+    assert res.success.all()
+    t.end_iteration()
+    assert t.result() == {b"u": 5, b"v": 2}
+
+
+def test_combine_does_not_allocate(combining_table):
+    t = combining_table
+    t.insert_batch(numeric_batch([(b"k", 1)]))
+    pages_before = t.alloc.stats.pages_taken
+    t.insert_batch(numeric_batch([(b"k", 1)] * 50))
+    assert t.alloc.stats.pages_taken == pages_before
+    assert t.total_inserted == 51
+
+
+def test_pvc_example_matches_reference():
+    """The paper's running PVC example: <url, 1> with sum combining."""
+    rng = np.random.default_rng(7)
+    urls = [f"http://site-{i}.com/p".encode() for i in range(40)]
+    stream = [urls[i] for i in rng.integers(0, 40, size=800)]
+    ref = collections.Counter(stream)
+    t = make_table(CombiningOrganization(SUM_I64), heap_bytes=1 << 16,
+                   page_size=1024, n_buckets=128)
+    batch = numeric_batch([(u, 1) for u in stream])
+    res = t.insert_batch(batch)
+    assert res.success.all()
+    t.end_iteration()
+    assert t.result() == dict(ref)
+
+
+def test_postpone_when_heap_full():
+    t = make_table(CombiningOrganization(SUM_I64), heap_bytes=512, page_size=256,
+                   n_buckets=64, group_size=8)
+    # Distinct keys until allocation fails.
+    batch = numeric_batch([(f"key-{i:03d}".encode(), 1) for i in range(100)])
+    res = t.insert_batch(batch)
+    assert not res.success.all()
+    assert res.n_postponed > 0
+    assert t.total_postponed == res.n_postponed
+
+
+def test_duplicates_still_combine_after_heap_full():
+    """Figure 5(c): pairs with existing keys succeed even when pages are full."""
+    t = make_table(CombiningOrganization(SUM_I64), heap_bytes=512, page_size=256,
+                   n_buckets=64, group_size=8)
+    first = t.insert_batch(numeric_batch([(f"key-{i:03d}".encode(), 1) for i in range(100)]))
+    stored = [i for i in range(100) if first.success[i]]
+    assert stored  # some keys made it in
+    dup_key = f"key-{stored[0]:03d}".encode()
+    res = t.insert_batch(numeric_batch([(dup_key, 10)]))
+    assert res.success.all()
+
+
+def test_cross_iteration_residue_merged():
+    """A key split across iterations is reduced at CPU-side finalize."""
+    t = make_table(CombiningOrganization(SUM_I64), heap_bytes=512, page_size=256,
+                   n_buckets=64, group_size=8)
+    got = t.insert_batch(numeric_batch([(f"key-{i:03d}".encode(), 1) for i in range(100)]))
+    t.end_iteration()
+    # Insert one of the already-stored keys again in the next iteration:
+    # it allocates a *new* entry (old one is evicted).
+    key0 = f"key-{np.flatnonzero(got.success)[0]:03d}".encode()
+    t.insert_batch(numeric_batch([(key0, 41)]))
+    t.end_iteration()
+    assert t.result()[key0] == 42
+
+
+def test_float_combiner():
+    t = make_table(CombiningOrganization(SUM_F64))
+    batch = RecordBatch.from_numeric(
+        [b"ab", b"ab"], np.array([0.5, 0.75], dtype=np.float64)
+    )
+    t.insert_batch(batch)
+    t.end_iteration()
+    assert t.result()[b"ab"] == pytest.approx(1.25)
+
+
+def test_byte_values_rejected(combining_table):
+    batch = RecordBatch.from_pairs([(b"k", b"v")])
+    with pytest.raises(ValueError):
+        combining_table.insert_batch(batch)
+
+
+def test_stats_track_contention(combining_table):
+    # All duplicates of one key -> hottest bucket equals batch size.
+    batch = numeric_batch([(b"same", 1)] * 32)
+    res = combining_table.insert_batch(batch)
+    assert res.stats.hottest_bucket == 32
+    assert res.stats.n_records == 32
+
+
+def test_load_factor_can_exceed_one():
+    t = make_table(CombiningOrganization(SUM_I64), heap_bytes=1 << 16,
+                   page_size=1024, n_buckets=8, group_size=4)
+    batch = numeric_batch([(f"key-{i}".encode(), 1) for i in range(64)])
+    res = t.insert_batch(batch)
+    assert res.success.all()
+    assert t.load_factor == 8.0
+    t.end_iteration()
+    assert len(t.result()) == 64
+
+
+def test_empty_batch():
+    t = make_table(CombiningOrganization(SUM_I64))
+    res = t.insert_batch(numeric_batch([(b"k", 1)]), indices=np.array([], dtype=int))
+    assert len(res.success) == 0
+    assert res.stats.n_records == 0

@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CombiningOrganization, MultiValuedOrganization, SUM_I64
+from repro.core.introspection import collect_stats
+from tests.core.conftest import byte_batch, make_table, numeric_batch
+
+
+def test_empty_table_stats(combining_table):
+    s = collect_stats(combining_table)
+    assert s.total_entries == 0
+    assert s.occupied_buckets == 0
+    assert s.load_factor == 0.0
+    assert s.mean_chain_length == 0.0
+
+
+def test_entry_counts_match_inserts(combining_table):
+    t = combining_table
+    t.insert_batch(numeric_batch([(b"a", 1), (b"b", 1), (b"a", 1)]))
+    s = collect_stats(t)
+    assert s.total_entries == 2  # combining: one entry per distinct key
+    assert s.total_values == 2
+    assert s.key_bytes == 2
+    assert s.value_bytes == 16  # two 8-byte scalars
+
+
+def test_histogram_sums_to_occupied(combining_table):
+    t = combining_table
+    t.insert_batch(numeric_batch([(f"k{i}".encode(), 1) for i in range(30)]))
+    s = collect_stats(t)
+    assert sum(s.chain_length_histogram.values()) == s.occupied_buckets
+    assert sum(l * n for l, n in s.chain_length_histogram.items()) == 30
+    assert s.max_chain_length == max(s.chain_length_histogram)
+
+
+def test_stats_survive_eviction(combining_table):
+    t = combining_table
+    t.insert_batch(numeric_batch([(f"k{i}".encode(), 1) for i in range(20)]))
+    before = collect_stats(t)
+    t.end_iteration()
+    after = collect_stats(t)
+    assert after.total_entries == before.total_entries
+    assert after.resident_pages == 0
+    assert after.evicted_pages > 0
+
+
+def test_multivalued_counts_values_separately():
+    t = make_table(MultiValuedOrganization())
+    t.insert_batch(byte_batch([(b"k", b"v1"), (b"k", b"v2"), (b"j", b"x")]))
+    s = collect_stats(t)
+    assert s.total_entries == 2  # key entries
+    assert s.total_values == 3  # value nodes
+    assert s.value_bytes == 2 + 2 + 1
+
+
+def test_load_factor_above_one_visible():
+    t = make_table(CombiningOrganization(SUM_I64), heap_bytes=1 << 16,
+                   page_size=1024, n_buckets=8, group_size=4)
+    t.insert_batch(numeric_batch([(f"k{i}".encode(), 1) for i in range(40)]))
+    s = collect_stats(t)
+    assert s.load_factor == pytest.approx(5.0)
+    assert s.mean_chain_length >= 1.0
+
+
+def test_summary_renders(combining_table):
+    combining_table.insert_batch(numeric_batch([(b"x", 1)]))
+    out = collect_stats(combining_table).summary()
+    assert "load factor" in out
+    assert "chains" in out
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.binary(min_size=1, max_size=10),
+                          st.integers(0, 5)), min_size=1, max_size=50))
+def test_entry_count_equals_distinct_keys_property(pairs):
+    t = make_table(CombiningOrganization(SUM_I64), heap_bytes=1 << 16,
+                   page_size=1024)
+    batch = numeric_batch(pairs)
+    res = t.insert_batch(batch)
+    assert res.success.all()
+    s = collect_stats(t)
+    assert s.total_entries == len({k for k, _ in pairs})

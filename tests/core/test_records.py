@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.core import RecordBatch
+from repro.core.records import pack_byte_rows, pack_str_keys
+
+
+def test_pack_byte_rows_roundtrip():
+    rows = [b"abc", b"", b"dddddd"]
+    mat, lens = pack_byte_rows(rows)
+    assert mat.shape == (3, 6)
+    assert list(lens) == [3, 0, 6]
+    assert mat[0, :3].tobytes() == b"abc"
+    assert mat[2].tobytes() == b"dddddd"
+
+
+def test_pack_empty_list():
+    mat, lens = pack_byte_rows([])
+    assert mat.shape == (0, 1)
+    assert lens.shape == (0,)
+
+
+def test_pack_str_keys_utf8():
+    mat, lens = pack_str_keys(["héllo"])
+    assert lens[0] == len("héllo".encode())
+
+
+def test_from_pairs_accessors():
+    b = RecordBatch.from_pairs([(b"k1", b"v1"), (b"key2", b"value2")])
+    assert len(b) == 2
+    assert b.key_bytes(1) == b"key2"
+    assert b.value_bytes(0) == b"v1"
+
+
+def test_from_numeric_accessors():
+    b = RecordBatch.from_numeric([b"a", b"bb"], np.array([1, 2], dtype=np.int64))
+    assert b.numeric_values is not None
+    assert b.key_bytes(1) == b"bb"
+    with pytest.raises(ValueError):
+        b.value_bytes(0)
+
+
+def test_exactly_one_value_kind_enforced():
+    mat, lens = pack_byte_rows([b"a"])
+    with pytest.raises(ValueError):
+        RecordBatch(keys=mat, key_lens=lens)  # neither
+    with pytest.raises(ValueError):
+        RecordBatch(
+            keys=mat,
+            key_lens=lens,
+            numeric_values=np.array([1]),
+            values=mat,
+            val_lens=lens,
+        )  # both
+
+
+def test_byte_values_require_val_lens():
+    mat, lens = pack_byte_rows([b"a"])
+    with pytest.raises(ValueError):
+        RecordBatch(keys=mat, key_lens=lens, values=mat)
+
+
+def test_shape_mismatch_rejected():
+    mat, lens = pack_byte_rows([b"a", b"b"])
+    with pytest.raises(ValueError):
+        RecordBatch(keys=mat, key_lens=lens, numeric_values=np.array([1]))
+
+
+def test_staged_bytes_unpadded():
+    b = RecordBatch.from_pairs([(b"abc", b"x"), (b"a", b"yy")])
+    assert b.staged_bytes == 3 + 1 + 1 + 2
+
+
+def test_input_bytes_defaults_to_staged():
+    b = RecordBatch.from_pairs([(b"abc", b"x")])
+    assert b.input_bytes == b.staged_bytes
+    b2 = RecordBatch.from_pairs([(b"abc", b"x")], input_bytes=100)
+    assert b2.input_bytes == 100
+
+
+def test_numeric_staged_bytes_counts_scalars():
+    b = RecordBatch.from_numeric([b"ab"], np.array([5], dtype=np.int64))
+    assert b.staged_bytes == 2 + 8

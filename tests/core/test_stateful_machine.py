@@ -1,0 +1,108 @@
+"""Stateful property testing: the table under arbitrary operation orders.
+
+A hypothesis state machine interleaves batched inserts, scalar inserts,
+end-of-iteration evictions and mid-run CPU-side reads against a plain dict
+model.  The invariant: after resolving every postponed record (exactly the
+SEPO contract -- reissue until SUCCESS), the finalized table equals the
+model, no matter how operations interleaved with evictions.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import CombiningOrganization, GpuHashTable, RecordBatch, SUM_I64
+from repro.memalloc import GpuHeap
+
+KEY = st.binary(min_size=1, max_size=12)
+
+
+class TableMachine(RuleBasedStateMachine):
+    @initialize(
+        heap_pages=st.integers(2, 8),
+        n_buckets=st.sampled_from([4, 16, 64]),
+        group_size=st.sampled_from([2, 8]),
+    )
+    def setup(self, heap_pages, n_buckets, group_size):
+        self.table = GpuHashTable(
+            n_buckets=n_buckets,
+            organization=CombiningOrganization(SUM_I64),
+            heap=GpuHeap(heap_pages * 256, 256),
+            group_size=group_size,
+        )
+        self.model: dict[bytes, int] = {}
+        self.backlog: list[tuple[bytes, int]] = []
+
+    # ------------------------------------------------------------------
+    @rule(pairs=st.lists(st.tuples(KEY, st.integers(-50, 50)),
+                         min_size=1, max_size=20))
+    def insert_batch(self, pairs):
+        batch = RecordBatch.from_numeric(
+            [k for k, _ in pairs],
+            np.array([v for _, v in pairs], dtype=np.int64),
+        )
+        result = self.table.insert_batch(batch)
+        for (k, v), ok in zip(pairs, result.success):
+            if ok:
+                self.model[k] = self.model.get(k, 0) + v
+            else:
+                self.backlog.append((k, v))
+
+    @rule(key=KEY, value=st.integers(-50, 50))
+    def insert_scalar(self, key, value):
+        if self.table.insert(key, value):
+            self.model[key] = self.model.get(key, 0) + value
+        else:
+            self.backlog.append((key, value))
+
+    @rule()
+    def end_iteration(self):
+        self.table.end_iteration()
+
+    @precondition(lambda self: self.backlog)
+    @rule()
+    def reissue_backlog(self):
+        """The SEPO requestor role: retry postponed records."""
+        self.table.end_iteration()  # guarantee a fresh pool
+        still = []
+        for k, v in self.backlog:
+            if self.table.insert(k, v):
+                self.model[k] = self.model.get(k, 0) + v
+            else:
+                still.append((k, v))
+        self.backlog = still
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def cpu_view_covers_model(self):
+        """Mid-run: every model key is already readable from the CPU side
+        (entries live either in resident pages or in evicted segments)."""
+        seen = {}
+        comb = self.table.org.combiner
+        for k, v in self.table.cpu_items():
+            seen[k] = comb.combine(seen[k], v) if k in seen else v
+        assert seen == self.model
+
+    def teardown(self):
+        if hasattr(self, "table"):
+            # Drain the backlog, then the final table must equal the model.
+            for _ in range(50):
+                if not self.backlog:
+                    break
+                self.reissue_backlog()
+            assert not self.backlog
+            self.table.end_iteration()
+            assert self.table.result() == self.model
+
+
+TestTableMachine = TableMachine.TestCase
+TestTableMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

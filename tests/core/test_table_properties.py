@@ -1,0 +1,132 @@
+"""Property-based tests: the hash table against a pure-dict model, under
+randomized keys/values and randomized (tiny) heap geometries that force
+evictions and SEPO iterations."""
+
+import collections
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BasicOrganization,
+    CombiningOrganization,
+    GpuHashTable,
+    MultiValuedOrganization,
+    RecordBatch,
+    SepoDriver,
+    SUM_I64,
+)
+from repro.gpusim import CostLedger, GTX_780TI, KernelModel, PCIeBus
+from repro.memalloc import GpuHeap
+
+KEYS = st.binary(min_size=1, max_size=24)
+SMALL_VALUES = st.binary(min_size=0, max_size=16)
+
+GEOMETRY = st.tuples(
+    st.sampled_from([512, 1024, 4096]),  # heap bytes
+    st.sampled_from([256, 512]),  # page size
+    st.sampled_from([4, 16, 64]),  # buckets
+    st.sampled_from([2, 8]),  # group size
+)
+
+
+def run_driver(org, pairs_to_batch, geometry):
+    heap_bytes, page_size, n_buckets, group_size = geometry
+    if heap_bytes < page_size:
+        heap_bytes = page_size
+    ledger = CostLedger()
+    heap = GpuHeap(heap_bytes, page_size)
+    table = GpuHashTable(
+        n_buckets=n_buckets, organization=org, heap=heap,
+        group_size=group_size, ledger=ledger,
+    )
+    driver = SepoDriver(table, KernelModel(GTX_780TI, ledger), PCIeBus(ledger))
+    report = driver.run([pairs_to_batch])
+    return table, report
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    pairs=st.lists(st.tuples(KEYS, st.integers(-1000, 1000)), min_size=1, max_size=80),
+    geometry=GEOMETRY,
+)
+def test_combining_matches_dict_sum(pairs, geometry):
+    ref: dict[bytes, int] = {}
+    for k, v in pairs:
+        ref[k] = ref.get(k, 0) + v
+    batch = RecordBatch.from_numeric(
+        [k for k, _ in pairs], np.array([v for _, v in pairs], dtype=np.int64)
+    )
+    table, report = run_driver(CombiningOrganization(SUM_I64), batch, geometry)
+    assert table.result() == ref
+    assert report.iterations >= 1
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    pairs=st.lists(st.tuples(KEYS, SMALL_VALUES), min_size=1, max_size=60),
+    geometry=GEOMETRY,
+)
+def test_basic_keeps_every_pair(pairs, geometry):
+    ref = collections.defaultdict(list)
+    for k, v in pairs:
+        ref[k].append(v)
+    batch = RecordBatch.from_pairs(pairs)
+    table, _ = run_driver(BasicOrganization(), batch, geometry)
+    out = table.result()
+    assert {k: sorted(v) for k, v in out.items()} == {
+        k: sorted(v) for k, v in ref.items()
+    }
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    pairs=st.lists(st.tuples(KEYS, SMALL_VALUES), min_size=1, max_size=60),
+    geometry=GEOMETRY,
+)
+def test_multivalued_groups_every_value(pairs, geometry):
+    # Multi-valued needs a bit more headroom: pinned pages can deadlock a
+    # 1-page heap (documented NoProgressError); keep >= 2 pages.
+    heap_bytes, page_size, n_buckets, group_size = geometry
+    heap_bytes = max(heap_bytes, 4 * page_size)
+    ref = collections.defaultdict(list)
+    for k, v in pairs:
+        ref[k].append(v)
+    batch = RecordBatch.from_pairs(pairs)
+    table, _ = run_driver(
+        MultiValuedOrganization(), batch,
+        (heap_bytes, page_size, n_buckets, group_size),
+    )
+    out = table.result()
+    assert {k: sorted(v) for k, v in out.items()} == {
+        k: sorted(v) for k, v in ref.items()
+    }
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    pairs=st.lists(st.tuples(KEYS, st.integers(0, 10)), min_size=1, max_size=60),
+)
+def test_batch_split_invariance(pairs):
+    """Splitting the input into chunks must not change the result."""
+    batch_all = RecordBatch.from_numeric(
+        [k for k, _ in pairs], np.array([v for _, v in pairs], dtype=np.int64)
+    )
+    mid = len(pairs) // 2 or 1
+    batches_split = [
+        RecordBatch.from_numeric(
+            [k for k, _ in part], np.array([v for _, v in part], dtype=np.int64)
+        )
+        for part in (pairs[:mid], pairs[mid:])
+        if part
+    ]
+    geo = (1024, 256, 16, 4)
+    t1, _ = run_driver(CombiningOrganization(SUM_I64), batch_all, geo)
+
+    ledger = CostLedger()
+    heap = GpuHeap(1024, 256)
+    t2 = GpuHashTable(16, CombiningOrganization(SUM_I64), heap, group_size=4,
+                      ledger=ledger)
+    SepoDriver(t2, KernelModel(GTX_780TI, ledger), PCIeBus(ledger)).run(batches_split)
+    assert t1.result() == t2.result()

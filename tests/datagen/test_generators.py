@@ -1,0 +1,178 @@
+"""Generators: determinism, size targeting, format validity, skew knobs."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    generate_dna_reads,
+    generate_geo_articles,
+    generate_html_corpus,
+    generate_patent_citations,
+    generate_ratings,
+    generate_text,
+    generate_weblog,
+    zipf_probabilities,
+    zipf_sample,
+)
+
+GENERATORS = [
+    generate_weblog,
+    generate_text,
+    generate_dna_reads,
+    generate_ratings,
+    generate_html_corpus,
+    generate_geo_articles,
+    generate_patent_citations,
+]
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+def test_deterministic_under_seed(gen):
+    assert gen(20_000, seed=5) == gen(20_000, seed=5)
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+def test_different_seeds_differ(gen):
+    assert gen(20_000, seed=1) != gen(20_000, seed=2)
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+def test_size_targeting(gen):
+    data = gen(50_000, seed=0)
+    assert 0.5 * 50_000 < len(data) < 2.0 * 50_000
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+def test_newline_terminated(gen):
+    assert gen(10_000, seed=0).endswith(b"\n")
+
+
+@pytest.mark.parametrize("gen", GENERATORS)
+def test_rejects_nonpositive_size(gen):
+    with pytest.raises(ValueError):
+        gen(0)
+
+
+def test_zipf_probabilities_normalized():
+    p = zipf_probabilities(100, 1.0)
+    assert p.sum() == pytest.approx(1.0)
+    assert (np.diff(p) <= 0).all()  # monotone decreasing in rank
+
+
+def test_zipf_uniform_at_zero_exponent():
+    p = zipf_probabilities(10, 0.0)
+    assert np.allclose(p, 0.1)
+
+
+def test_zipf_sample_bounds():
+    rng = np.random.default_rng(0)
+    s = zipf_sample(rng, 1000, 50, 1.0)
+    assert s.min() >= 0 and s.max() < 50
+
+
+def test_zipf_skew_concentrates_mass():
+    rng = np.random.default_rng(0)
+    hot_share = lambda s: (zipf_sample(rng, 5000, 100, s) == 0).mean()
+    assert hot_share(1.5) > hot_share(0.5)
+
+
+def test_zipf_rejects_bad_args():
+    with pytest.raises(ValueError):
+        zipf_probabilities(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf_probabilities(5, -1.0)
+    with pytest.raises(ValueError):
+        zipf_sample(np.random.default_rng(0), -1, 5, 1.0)
+
+
+def test_weblog_lines_contain_urls():
+    for line in generate_weblog(5_000, n_urls=50).splitlines():
+        assert b"GET http://" in line
+
+
+def test_weblog_distinct_url_knob():
+    few = generate_weblog(50_000, n_urls=10)
+    many = generate_weblog(50_000, n_urls=2000)
+    urls = lambda d: {ln.split(b'"')[1] for ln in d.splitlines()}
+    assert len(urls(few)) <= 10
+    assert len(urls(many)) > 100
+
+
+def test_text_vocab_knob():
+    small = set(generate_text(50_000, vocab_size=20).split())
+    large = set(generate_text(50_000, vocab_size=5000).split())
+    assert len(small) <= 20
+    assert len(large) > 500
+
+
+def test_text_hot_word_is_stopword():
+    counts = collections.Counter(generate_text(50_000, vocab_size=100).split())
+    assert counts.most_common(1)[0][0] == b"the"
+
+
+def test_dna_alphabet_and_read_length():
+    data = generate_dna_reads(10_000, read_len=32)
+    lines = data.strip().split(b"\n")
+    assert all(len(ln) == 32 for ln in lines)
+    assert set(data) <= set(b"ACGT\n")
+
+
+def test_dna_duplicate_kmers_exist():
+    # A tiny genome with many reads must repeat k-mers.
+    data = generate_dna_reads(20_000, genome_len=500, read_len=32)
+    lines = data.strip().split(b"\n")
+    kmers = collections.Counter(
+        ln[i : i + 16] for ln in lines for i in range(0, 17, 8)
+    )
+    assert kmers.most_common(1)[0][1] > 1
+
+
+def test_ratings_grouped_by_movie():
+    lines = generate_ratings(5_000, raters_per_movie=4).strip().split(b"\n")
+    movies = [int(ln.split(b",")[0]) for ln in lines]
+    # Grouped: movie ids are non-decreasing.
+    assert movies == sorted(movies)
+    stars = [int(ln.split(b",")[2]) for ln in lines]
+    assert all(1 <= s <= 5 for s in stars)
+
+
+def test_ratings_no_duplicate_rater_per_movie():
+    lines = generate_ratings(5_000, raters_per_movie=6).strip().split(b"\n")
+    per_movie = collections.defaultdict(list)
+    for ln in lines:
+        m, u, _ = ln.split(b",")
+        per_movie[m].append(u)
+    assert all(len(us) == len(set(us)) for us in per_movie.values())
+
+
+def test_html_has_file_markers_and_links():
+    data = generate_html_corpus(20_000)
+    assert data.count(b"--FILE:") >= 2
+    assert b'<a href="http://' in data
+
+
+def test_geo_lines_parse():
+    for ln in generate_geo_articles(5_000).strip().split(b"\n"):
+        art, cell = ln.split(b"\t")
+        int(art)
+        lat, lon = cell.split(b",")
+        assert -90 <= float(lat) <= 90
+        assert -180 <= float(lon) <= 180
+
+
+def test_patents_edges_newer_cite_older():
+    for ln in generate_patent_citations(5_000).strip().split(b"\n"):
+        citing, cited = map(int, ln.split())
+        assert citing > cited
+
+
+def test_patents_preferential_attachment_skew():
+    data = generate_patent_citations(60_000)
+    cited_counts = collections.Counter(
+        ln.split()[1] for ln in data.strip().split(b"\n")
+    )
+    counts = sorted(cited_counts.values(), reverse=True)
+    # The most-cited patent should far exceed the median.
+    assert counts[0] > 5 * counts[len(counts) // 2]

@@ -1,0 +1,80 @@
+"""Statistical validation of the workload generators (scipy-based).
+
+The experiments' *shapes* hinge on the generators' distributions: key skew
+drives lock contention and distinct-key volume drives table growth.  These
+tests check the distributions themselves, not just formats.
+"""
+
+import collections
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.datagen import (
+    generate_text,
+    generate_weblog,
+    zipf_probabilities,
+    zipf_sample,
+)
+
+
+def test_zipf_sampler_matches_target_pmf():
+    """Chi-squared goodness of fit of the sampler against its own PMF."""
+    rng = np.random.default_rng(0)
+    k, s, n = 30, 1.0, 60_000
+    sample = zipf_sample(rng, n, k, s)
+    observed = np.bincount(sample, minlength=k)
+    expected = zipf_probabilities(k, s) * n
+    chi2 = sps.chisquare(observed, expected)
+    assert chi2.pvalue > 0.001  # not significantly different
+
+
+def test_zipf_rank_frequency_slope():
+    """log(freq) vs log(rank) slope approximates -s (Zipf's law)."""
+    rng = np.random.default_rng(1)
+    s = 1.2
+    sample = zipf_sample(rng, 200_000, 500, s)
+    counts = np.bincount(sample, minlength=500)
+    top = counts[:50]  # the well-populated head
+    ranks = np.arange(1, 51)
+    slope, *_ = sps.linregress(np.log(ranks), np.log(top))
+    assert slope == pytest.approx(-s, abs=0.15)
+
+
+def test_text_word_frequencies_are_heavy_tailed():
+    data = generate_text(300_000, seed=2, vocab_size=2000, skew=1.0)
+    counts = collections.Counter(data.split())
+    freq = np.array(sorted(counts.values(), reverse=True), dtype=float)
+    # Top-10 words carry a disproportionate share, tail is long.
+    assert freq[:10].sum() > 0.2 * freq.sum()
+    assert len(freq) > 1000
+
+
+def test_weblog_distinct_url_growth_sublinear():
+    """With Zipf reuse, distinct keys grow sublinearly in record count --
+    the property behind Word Count's bounded table."""
+    urls = lambda size: len({
+        ln.split(b'"')[1] for ln in
+        generate_weblog(size, seed=3, n_urls=5000, skew=1.1).splitlines()
+    })
+    small, large = urls(30_000), urls(300_000)
+    assert large < 10 * small  # 10x data, < 10x distinct
+
+
+def test_zipf_exponent_zero_is_uniform_ks():
+    rng = np.random.default_rng(4)
+    sample = zipf_sample(rng, 20_000, 100, 0.0)
+    observed = np.bincount(sample, minlength=100)
+    chi2 = sps.chisquare(observed)  # uniform expected
+    assert chi2.pvalue > 0.001
+
+
+def test_generator_independence_across_seeds():
+    """Different seeds give statistically distinct streams (no state leak)."""
+    a = zipf_sample(np.random.default_rng(10), 5000, 50, 1.0)
+    b = zipf_sample(np.random.default_rng(11), 5000, 50, 1.0)
+    assert not np.array_equal(a, b)
+    # but the same marginal distribution (two-sample KS test):
+    ks = sps.ks_2samp(a, b)
+    assert ks.pvalue > 0.01

@@ -1,0 +1,35 @@
+"""Every shipped example must run to completion and self-verify.
+
+The examples assert their own correctness (each compares against a
+reference implementation), so 'ran without raising' is a real check.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_and_self_verifies(script, capsys, monkeypatch):
+    # Examples print; keep stdout captured but intact for debugging.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "verif" in out or "SEPO" in out or "speedup" in out.lower()
+
+
+def test_all_examples_present():
+    assert {p.stem for p in EXAMPLES} == {
+        "quickstart",
+        "mapreduce_wordcount",
+        "inverted_index_pipeline",
+        "larger_than_memory",
+        "sepo_lookups",
+        "dna_contig_assembly",
+    }

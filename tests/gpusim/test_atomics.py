@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gpusim import GTX_780TI, XEON_E5_QUAD, contention_time, hottest_count
+
+
+def test_hottest_count_empty():
+    assert hottest_count(np.array([], dtype=np.int64)) == 0
+
+
+def test_hottest_count_uniform():
+    assert hottest_count(np.array([0, 1, 2, 3])) == 1
+
+
+def test_hottest_count_skewed():
+    assert hottest_count(np.array([7, 7, 7, 1, 2])) == 3
+
+
+def test_hottest_count_minlength_does_not_change_max():
+    ids = np.array([5, 5, 2])
+    assert hottest_count(ids, n_buckets=100) == 2
+
+
+def test_negative_bucket_rejected():
+    with pytest.raises(ValueError):
+        hottest_count(np.array([-1, 0]))
+
+
+def test_uncontended_lock_is_free():
+    assert contention_time(GTX_780TI, 0) == 0.0
+    assert contention_time(GTX_780TI, 1) == 0.0
+
+
+def test_contention_linear_in_depth():
+    t2 = contention_time(GTX_780TI, 2)
+    t200 = contention_time(GTX_780TI, 200)
+    assert t200 == pytest.approx(100 * t2)
+
+
+def test_cpu_contention_cheaper():
+    assert contention_time(XEON_E5_QUAD, 1000) < contention_time(GTX_780TI, 1000)
+
+
+def test_negative_hottest_rejected():
+    with pytest.raises(ValueError):
+        contention_time(GTX_780TI, -1)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=500))
+def test_hottest_matches_reference(ids):
+    arr = np.array(ids, dtype=np.int64)
+    ref = max(ids.count(v) for v in set(ids))
+    assert hottest_count(arr) == ref

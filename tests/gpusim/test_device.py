@@ -1,0 +1,58 @@
+import pytest
+
+from repro.gpusim import GTX_780TI, GTX_1080, XEON_E5_QUAD, DeviceSpec
+
+
+def test_gpu_aggregate_throughput_exceeds_cpu():
+    # The premise of the paper: an order of magnitude more aggregate compute.
+    assert GTX_780TI.compute_throughput > 5 * XEON_E5_QUAD.compute_throughput
+
+
+def test_gpu_bandwidth_exceeds_cpu():
+    assert GTX_780TI.effective_bandwidth > XEON_E5_QUAD.effective_bandwidth
+
+
+def test_effective_bandwidth_is_derated():
+    assert GTX_780TI.effective_bandwidth < GTX_780TI.mem_bandwidth
+
+
+def test_scaled_divides_capacity_only():
+    s = GTX_780TI.scaled(64)
+    assert s.mem_capacity == GTX_780TI.mem_capacity // 64
+    assert s.cores == GTX_780TI.cores
+    assert s.clock_hz == GTX_780TI.clock_hz
+
+
+def test_scaled_rejects_zero():
+    with pytest.raises(ValueError):
+        GTX_780TI.scaled(0)
+
+
+def test_specs_are_frozen():
+    with pytest.raises(AttributeError):
+        GTX_780TI.cores = 1  # type: ignore[misc]
+
+
+def test_cpu_has_no_simt_width():
+    assert XEON_E5_QUAD.warp_size == 1
+    assert GTX_780TI.warp_size == 32
+    assert GTX_1080.warp_size == 32
+
+
+def test_cpu_locks_cheaper_than_gpu_locks():
+    # Section VI-B: CPU also contends "but not as much".
+    assert XEON_E5_QUAD.lock_s < GTX_780TI.lock_s
+
+
+def test_spec_is_hashable():
+    assert len({GTX_780TI, GTX_1080, XEON_E5_QUAD}) == 3
+
+
+def test_custom_spec_roundtrip():
+    d = DeviceSpec(
+        name="toy", cores=4, clock_hz=1e9, ipc=1.0, mem_bandwidth=1e10,
+        mem_efficiency=0.5, mem_capacity=1 << 20, warp_size=2,
+        lock_s=1e-7, launch_s=1e-6,
+    )
+    assert d.compute_throughput == 4e9
+    assert d.effective_bandwidth == 5e9

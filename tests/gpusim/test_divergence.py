@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.divergence import (
+    BranchProfile,
+    divergence_factor,
+    expected_distinct_branches,
+)
+
+
+def test_single_branch_never_diverges():
+    assert divergence_factor(np.array([1.0])) == pytest.approx(1.0)
+
+
+def test_cpu_warp_of_one_never_diverges():
+    p = np.array([0.25, 0.25, 0.25, 0.25])
+    assert divergence_factor(p, warp_size=1) == pytest.approx(1.0)
+
+
+def test_uniform_k_way_saturates_at_k():
+    # 4 equiprobable branches, wide warp: every branch present -> factor 4.
+    p = np.full(4, 0.25)
+    f = divergence_factor(p, warp_size=32)
+    assert 3.9 < f <= 4.0
+
+
+def test_skewed_branch_diverges_less_than_uniform():
+    uniform = divergence_factor(np.full(8, 1 / 8))
+    skewed = divergence_factor(np.array([0.93] + [0.01] * 7))
+    assert skewed < uniform
+
+
+def test_expected_distinct_bounds():
+    p = np.full(16, 1 / 16)
+    e = expected_distinct_branches(p, warp_size=32)
+    assert 1.0 <= e <= 16.0
+    assert e > 13  # 32 threads over 16 uniform branches hit most of them
+
+
+def test_costs_weight_the_factor():
+    # A rare-but-expensive branch inflates divergence: the warp almost
+    # always contains one thread that drags everyone through it.
+    p = np.array([0.9, 0.1])
+    cheap = divergence_factor(p, np.array([1.0, 1.0]))
+    heavy = divergence_factor(p, np.array([1.0, 50.0]))
+    assert heavy > cheap
+
+
+def test_probabilities_validated():
+    with pytest.raises(ValueError):
+        divergence_factor(np.array([0.7, 0.7]))
+    with pytest.raises(ValueError):
+        divergence_factor(np.array([-0.1]))
+    with pytest.raises(ValueError):
+        divergence_factor(np.array([]))
+    with pytest.raises(ValueError):
+        divergence_factor(np.array([0.5]), warp_size=0)
+
+
+def test_branch_profile_wrapper():
+    prof = BranchProfile(probs=(0.5, 0.3, 0.2))
+    assert prof.divergence_factor(32) == pytest.approx(
+        divergence_factor(np.array([0.5, 0.3, 0.2]))
+    )
+    with pytest.raises(ValueError):
+        BranchProfile(probs=(0.5,), costs=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        BranchProfile(probs=(0.5,), costs=(-1.0,))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(0.01, 1.0), min_size=1, max_size=8),
+    st.sampled_from([2, 8, 32]),
+)
+def test_matches_monte_carlo_warp_simulation(weights, warp_size):
+    """The closed form equals a simulated warp's branch-union cost."""
+    p = np.array(weights) / sum(weights)
+    rng = np.random.default_rng(0)
+    trials = 4000
+    draws = rng.choice(len(p), size=(trials, warp_size), p=p)
+    # Per warp: number of distinct branches present (unit costs).
+    distinct = np.array([len(set(row)) for row in draws])
+    mc = distinct.mean() / (p * np.ones_like(p)).sum()
+    analytic = divergence_factor(p, warp_size=warp_size)
+    assert analytic == pytest.approx(mc, rel=0.08)

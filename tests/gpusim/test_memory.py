@@ -1,0 +1,57 @@
+import pytest
+
+from repro.gpusim import DeviceMemory, GTX_780TI, OutOfDeviceMemory
+
+
+@pytest.fixture
+def mem():
+    return DeviceMemory(GTX_780TI.scaled(1024))  # 3 MiB
+
+
+def test_initially_all_free(mem):
+    assert mem.free == mem.capacity
+    assert mem.used == 0
+
+
+def test_reserve_and_release(mem):
+    mem.reserve("buckets", 1 << 20)
+    assert mem.used == 1 << 20
+    assert mem.free == mem.capacity - (1 << 20)
+    assert mem.release("buckets") == 1 << 20
+    assert mem.used == 0
+
+
+def test_over_reservation_raises(mem):
+    with pytest.raises(OutOfDeviceMemory):
+        mem.reserve("huge", mem.capacity + 1)
+
+
+def test_duplicate_name_rejected(mem):
+    mem.reserve("x", 10)
+    with pytest.raises(ValueError):
+        mem.reserve("x", 10)
+
+
+def test_release_unknown_raises(mem):
+    with pytest.raises(KeyError):
+        mem.release("nope")
+
+
+def test_negative_reservation_rejected(mem):
+    with pytest.raises(ValueError):
+        mem.reserve("neg", -1)
+
+
+def test_reservations_snapshot_is_copy(mem):
+    mem.reserve("a", 5)
+    snap = mem.reservations()
+    snap["b"] = 99
+    assert "b" not in mem.reservations()
+
+
+def test_heap_fills_remaining_space(mem):
+    # Section IV-A: the heap takes whatever remains.
+    mem.reserve("buckets", mem.capacity // 4)
+    remaining = mem.free
+    mem.reserve("heap", remaining)
+    assert mem.free == 0

@@ -1,0 +1,167 @@
+"""The discrete warp-level micro-simulator, and its agreement with the
+analytic roofline model on regime behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.microsim import (
+    Atomic,
+    Compute,
+    Load,
+    SimResult,
+    Simulator,
+    Warp,
+    batch_traces,
+)
+
+
+def test_single_warp_pure_compute():
+    sim = Simulator(n_sms=1, warp_slots=1)
+    res = sim.run([Warp([Compute(10), Compute(5)])])
+    # Ops are dependent within a warp: 10 then 5 (issue gaps included).
+    assert 15 <= res.cycles <= 17
+    assert res.instructions == 2
+
+
+def test_latency_hiding_across_warps():
+    """Many resident warps hide memory latency; one warp cannot."""
+    sim = Simulator(n_sms=1, warp_slots=16, mem_latency=400)
+    lone = sim.run([Warp([Load(128), Compute(1)] * 8)])
+    crowd_warps = [Warp([Load(128), Compute(1)] * 8, wid=i) for i in range(16)]
+    crowd = Simulator(n_sms=1, warp_slots=16, mem_latency=400).run(crowd_warps)
+    # 16x the work, far less than 16x the time.
+    assert crowd.cycles < 4 * lone.cycles
+
+
+def test_bandwidth_bound_when_loads_dominate():
+    sim = Simulator(n_sms=4, warp_slots=8, bytes_per_cycle=10.0,
+                    mem_latency=10)
+    nbytes = 100_000
+    res = sim.run([Warp([Load(1000)] * (nbytes // 1000 // 8), wid=i)
+                   for i in range(8)])
+    # Drain time ~ bytes / bytes_per_cycle dominates.
+    assert res.cycles >= nbytes / 10.0 * 0.9
+
+
+def test_same_address_atomics_serialize():
+    sim = Simulator(n_sms=8, warp_slots=8, atomic_cycles=50)
+    hot = [Warp([Atomic(7)], wid=i) for i in range(64)]
+    res_hot = sim.run(hot)
+    cold = [Warp([Atomic(i)], wid=i) for i in range(64)]
+    res_cold = Simulator(n_sms=8, warp_slots=8, atomic_cycles=50).run(cold)
+    assert res_hot.cycles >= 64 * 50  # full serialization
+    assert res_cold.cycles < res_hot.cycles / 4
+    assert res_hot.atomics == 64
+
+
+def test_multiple_sms_divide_work():
+    warps = lambda: [Warp([Compute(100)] * 10, wid=i) for i in range(30)]
+    one = Simulator(n_sms=1, warp_slots=4).run(warps())
+    many = Simulator(n_sms=15, warp_slots=4).run(warps())
+    assert many.cycles < one.cycles / 5
+
+
+def test_result_seconds():
+    res = SimResult(cycles=875_000, instructions=1, loads_bytes=0,
+                    atomics=0, max_atomic_chain=0)
+    assert res.seconds(875e6) == pytest.approx(1e-3)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        Simulator(n_sms=0)
+    with pytest.raises(ValueError):
+        Simulator(bytes_per_cycle=0)
+    with pytest.raises(ValueError):
+        Compute(0)
+    with pytest.raises(ValueError):
+        Load(0)
+    with pytest.raises(ValueError):
+        Atomic(-1)
+
+
+def test_empty_run():
+    res = Simulator().run([])
+    assert res.cycles == 0
+    assert res.instructions == 0
+
+
+# ----------------------------------------------------------------------
+# trace generation
+# ----------------------------------------------------------------------
+def test_tracegen_counts():
+    warps = batch_traces(100, cycles_per_record=10, bytes_per_record=8,
+                         warp_size=32)
+    assert len(warps) == 4  # ceil(100/32)
+    total_loads = sum(
+        op.nbytes for w in warps for op in w.ops if isinstance(op, Load)
+    )
+    assert total_loads == pytest.approx(800, rel=0.05)
+
+
+def test_tracegen_atomics_follow_bucket_ids():
+    buckets = np.array([3] * 50 + [9] * 14)
+    warps = batch_traces(64, 5, 4, bucket_ids=buckets)
+    addrs = [op.address for w in warps for op in w.ops
+             if isinstance(op, Atomic)]
+    assert addrs.count(3) == 50
+    assert addrs.count(9) == 14
+
+
+def test_tracegen_validation():
+    with pytest.raises(ValueError):
+        batch_traces(-1, 1, 1)
+    with pytest.raises(ValueError):
+        batch_traces(1, 1, 1, divergence=0.5)
+
+
+# ----------------------------------------------------------------------
+# agreement with the analytic model (the reason this simulator exists)
+# ----------------------------------------------------------------------
+def analytic_and_simulated(n, cycles, nbytes_per_rec, hottest_share=0.0,
+                           divergence=1.0):
+    from repro.gpusim import BatchStats, CostLedger, GTX_780TI, KernelModel
+
+    rng = np.random.default_rng(0)
+    n_buckets = 4096
+    if hottest_share > 0:
+        hot = int(n * hottest_share)
+        buckets = np.concatenate([
+            np.full(hot, 1), rng.integers(2, n_buckets, size=n - hot)
+        ])
+    else:
+        buckets = rng.integers(0, n_buckets, size=n)
+    km = KernelModel(GTX_780TI, CostLedger())
+    stats = BatchStats(
+        n_records=n, cycles_per_record=cycles, divergence=divergence,
+        bytes_touched=int(n * nbytes_per_rec),
+        hottest_bucket=int(np.bincount(buckets).max()),
+    )
+    t_analytic = km.batch_time(stats)
+    sim = Simulator()
+    res = sim.run(batch_traces(n, cycles, nbytes_per_rec,
+                               bucket_ids=buckets, divergence=divergence))
+    return t_analytic, res.seconds(GTX_780TI.clock_hz)
+
+
+def test_models_agree_compute_bound():
+    a, s = analytic_and_simulated(20_000, cycles=200, nbytes_per_rec=4)
+    assert s == pytest.approx(a, rel=2.0)  # same order of magnitude
+    assert s > a / 4
+
+
+def test_models_agree_on_contention_regime():
+    """Both models must say the hot-bucket batch is much slower."""
+    a_cold, s_cold = analytic_and_simulated(10_000, 100, 8,
+                                            hottest_share=0.0)
+    a_hot, s_hot = analytic_and_simulated(10_000, 100, 8,
+                                          hottest_share=0.20)
+    assert a_hot > 3 * a_cold
+    assert s_hot > 3 * s_cold
+
+
+def test_models_agree_on_divergence_regime():
+    a1, s1 = analytic_and_simulated(10_000, 300, 4, divergence=1.0)
+    a6, s6 = analytic_and_simulated(10_000, 300, 4, divergence=6.0)
+    assert a6 > 3 * a1
+    assert s6 > 3 * s1

@@ -1,0 +1,83 @@
+"""Cross-system integration: every execution substrate, one workload.
+
+The same generated input flows through the SEPO GPU path, the CPU baseline,
+the pinned-heap variant and (for MapReduce apps) Phoenix++ and MapCG -- all
+five must produce the identical final mapping, and their simulated times
+must order the way the paper's evaluation says they do.
+"""
+
+import pytest
+
+from repro.apps import GeoLocation, PageViewCount, WordCount
+from repro.baselines import PinnedHashTable
+from repro.mapreduce import MapCGRuntime, MapReduceRuntime, PhoenixRuntime
+
+
+def normalize(d):
+    return {k: sorted(v) if isinstance(v, list) else v for k, v in d.items()}
+
+
+def test_five_substrates_agree_on_wordcount():
+    app = WordCount()
+    data = app.generate_input(60_000, seed=21)
+    ref = normalize(app.reference(data))
+    kw = dict(scale=1 << 12, n_buckets=1 << 11, page_size=4096, group_size=32)
+
+    gpu = app.run_gpu(data, **kw)
+    cpu = app.run_cpu(data, n_buckets=1 << 11)
+    pinned = PinnedHashTable(n_buckets=1 << 11, heap_bytes=1 << 22).run(app, data)
+    ours_mr = MapReduceRuntime(app.make_job(), **kw).run(data)
+    phoenix = PhoenixRuntime(app.make_job(), n_buckets=1 << 11).run(data)
+    mapcg = MapCGRuntime(app.make_job(), **kw).run(data)
+
+    for outcome in (gpu, cpu, pinned, ours_mr, phoenix, mapcg):
+        assert normalize(outcome.output()) == ref
+
+
+def test_substrate_time_ordering_pvc():
+    """SEPO beats both alternatives; the pinned heap hovers near the CPU
+    baseline (Figure 7 shows it below the CPU for 4 of 7 apps)."""
+    app = PageViewCount()
+    data = app.generate_input(400_000, seed=8)
+    sepo = app.run_gpu(data, scale=1 << 12, n_buckets=1 << 12,
+                       page_size=4096, group_size=64)
+    cpu = app.run_cpu(data, n_buckets=1 << 12)
+    pinned = PinnedHashTable(n_buckets=1 << 12, heap_bytes=1 << 23).run(
+        app, data
+    )
+    assert sepo.elapsed_seconds < cpu.elapsed_seconds
+    assert sepo.elapsed_seconds < pinned.elapsed_seconds
+    # The pinned heap sits in the CPU baseline's neighbourhood at this
+    # micro scale; Figure 7 at benchmark scale shows it clearly behind.
+    assert 0.4 * cpu.elapsed_seconds < pinned.elapsed_seconds
+    assert normalize(sepo.output()) == normalize(cpu.output())
+
+
+def test_mapreduce_grouping_consistency_under_pressure():
+    """MAP_GROUP output survives tiny heaps, retained pages, forced
+    evictions -- and still matches Phoenix++ on the CPU."""
+    app = GeoLocation()
+    data = app.generate_input(80_000, seed=13)
+    tight = MapReduceRuntime(app.make_job(), scale=1 << 14,
+                             n_buckets=1 << 10, page_size=2048,
+                             group_size=16).run(data)
+    phoenix = PhoenixRuntime(app.make_job(), n_buckets=1 << 10).run(data)
+    assert tight.report.iterations > 1
+    assert normalize(tight.output()) == normalize(phoenix.output())
+
+
+def test_gpu_wins_grow_then_shrink_with_memory_pressure():
+    """Speedup decreases monotonically-ish as the device shrinks, but the
+    results never change."""
+    app = PageViewCount()
+    data = app.generate_input(200_000, seed=30)
+    cpu = app.run_cpu(data, n_buckets=1 << 11)
+    ref = normalize(cpu.output())
+    prev_iter = 0
+    for scale in (1 << 12, 1 << 13, 1 << 14):
+        gpu = app.run_gpu(data, scale=scale, n_buckets=1 << 11,
+                          page_size=4096, group_size=32)
+        assert normalize(gpu.output()) == ref
+        assert gpu.iterations >= prev_iter
+        prev_iter = gpu.iterations
+    assert prev_iter > 1  # the smallest device had to iterate

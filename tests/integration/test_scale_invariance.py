@@ -1,0 +1,65 @@
+"""The methodology's central claim: speedup ratios are scale-invariant.
+
+DESIGN.md argues that dividing every byte-shaped quantity (device memory,
+dataset, buckets) by one factor preserves the table:memory ratios that
+drive SEPO, while device throughput stays fixed -- so GPU/CPU speedups are
+comparable across scales.  These tests measure that claim -- including its
+honest limit: kernel-launch overhead is a *fixed* cost per chunk, so it is
+over-represented at extreme shrink factors and erodes GPU speedups there
+(which is why benchmarks default to scale <= 4096).
+"""
+
+import pytest
+
+from repro.apps import PageViewCount, WordCount
+from repro.bench.config import BenchConfig
+from repro.bench.fig6 import run_app_dataset
+
+
+def cell_at(app_cls, scale, dataset=2):
+    return run_app_dataset(app_cls(), dataset, BenchConfig(scale=scale))
+
+
+def test_pvc_speedup_stable_one_octave():
+    a = cell_at(PageViewCount, 1024)
+    b = cell_at(PageViewCount, 2048)
+    assert a.speedup == pytest.approx(b.speedup, rel=0.20)
+    # The driver of SEPO behaviour -- table:memory ratio -- is preserved
+    # almost exactly.
+    assert a.table_over_memory == pytest.approx(b.table_over_memory, rel=0.10)
+
+
+def test_fixed_overheads_erode_speedup_at_extreme_shrink():
+    """Known, documented limit: launch overhead is scale-free, so GPU
+    speedups decay monotonically as everything else shrinks around it."""
+    speedups = [cell_at(PageViewCount, s).speedup
+                for s in (1024, 4096, 8192)]
+    assert speedups == sorted(speedups, reverse=True)
+
+
+def test_wordcount_collapse_is_scale_free():
+    """The contention pathology must not be a scale artefact."""
+    a = cell_at(WordCount, 2048)
+    b = cell_at(WordCount, 8192)
+    assert a.speedup < 1.5 and b.speedup < 1.5
+
+
+def test_iteration_count_tracks_table_memory_ratio():
+    """Shrinking the device and dataset together keeps iteration counts
+    roughly stable; shrinking only the device raises them."""
+    same_ratio_small = run_app_dataset(
+        PageViewCount(), 4, BenchConfig(scale=4096)
+    )
+    same_ratio_big = run_app_dataset(
+        PageViewCount(), 4, BenchConfig(scale=1024)
+    )
+    assert abs(same_ratio_small.iterations - same_ratio_big.iterations) <= 1
+
+    # Same dataset bytes on a 4x smaller device: strictly more iterations.
+    cfg_small_dev = BenchConfig(scale=4096)
+    app = PageViewCount()
+    data = app.generate_input(
+        BenchConfig(scale=1024).dataset_bytes(app.name, 4), seed=0
+    )
+    smaller_device = app.run_gpu(data, **cfg_small_dev.gpu_kwargs())
+    assert smaller_device.iterations > same_ratio_big.iterations

@@ -1,0 +1,56 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memalloc import NULL, decode, encode
+
+
+def test_null_is_negative():
+    assert NULL < 0
+
+
+def test_roundtrip_simple():
+    addr = encode(3, 17, page_size=4096)
+    assert decode(addr, page_size=4096) == (3, 17)
+
+
+def test_zero_region_zero_offset():
+    assert encode(0, 0, 64) == 0
+    assert decode(0, 64) == (0, 0)
+
+
+def test_offset_bounds_checked():
+    with pytest.raises(ValueError):
+        encode(0, 4096, page_size=4096)
+    with pytest.raises(ValueError):
+        encode(0, -1, page_size=4096)
+
+
+def test_negative_region_rejected():
+    with pytest.raises(ValueError):
+        encode(-1, 0, 4096)
+
+
+def test_decode_null_rejected():
+    with pytest.raises(ValueError):
+        decode(NULL, 4096)
+
+
+@given(
+    region=st.integers(min_value=0, max_value=2**40),
+    page_size=st.sampled_from([64, 256, 4096, 1 << 20]),
+    data=st.data(),
+)
+def test_roundtrip_property(region, page_size, data):
+    offset = data.draw(st.integers(min_value=0, max_value=page_size - 1))
+    assert decode(encode(region, offset, page_size), page_size) == (region, offset)
+
+
+@given(
+    st.tuples(st.integers(0, 1000), st.integers(0, 255)),
+    st.tuples(st.integers(0, 1000), st.integers(0, 255)),
+)
+def test_encoding_is_injective(a, b):
+    ea = encode(a[0], a[1], 256)
+    eb = encode(b[0], b[1], 256)
+    assert (ea == eb) == (a == b)

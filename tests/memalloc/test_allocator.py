@@ -1,0 +1,111 @@
+import pytest
+
+from repro.memalloc import BucketGroupAllocator, GpuHeap, PageKind
+
+
+def make(heap_bytes=1024, page_size=256, n_groups=4):
+    heap = GpuHeap(heap_bytes, page_size)
+    return heap, BucketGroupAllocator(heap, n_groups)
+
+
+def test_first_allocation_takes_page():
+    heap, alloc = make()
+    a = alloc.allocate(0, 32)
+    assert a is not None
+    assert a.offset == 0
+    assert heap.is_resident(a.page.segment)
+    assert alloc.stats.pages_taken == 1
+
+
+def test_groups_get_distinct_pages():
+    _, alloc = make()
+    a = alloc.allocate(0, 8)
+    b = alloc.allocate(1, 8)
+    assert a.page.segment != b.page.segment
+
+
+def test_same_group_bumps_same_page():
+    _, alloc = make()
+    a = alloc.allocate(2, 8)
+    b = alloc.allocate(2, 8)
+    assert b.page is a.page
+    assert b.offset == 8
+
+
+def test_key_and_value_pages_separate():
+    _, alloc = make()
+    k = alloc.allocate(0, 8, PageKind.KEY)
+    v = alloc.allocate(0, 8, PageKind.VALUE)
+    assert k.page.segment != v.page.segment
+    assert k.page.kind is PageKind.KEY
+    assert v.page.kind is PageKind.VALUE
+
+
+def test_page_rollover_within_group():
+    _, alloc = make(heap_bytes=512, page_size=256, n_groups=1)
+    first = alloc.allocate(0, 200)
+    second = alloc.allocate(0, 200)  # does not fit the first page
+    assert second.page.segment != first.page.segment
+    assert second.offset == 0
+
+
+def test_postpone_when_pool_exhausted():
+    _, alloc = make(heap_bytes=256, page_size=256, n_groups=2)
+    assert alloc.allocate(0, 200) is not None
+    # Group 1 cannot get a page: POSTPONE.
+    assert alloc.allocate(1, 8) is None
+    assert alloc.failed_fraction == pytest.approx(0.5)
+    assert alloc.stats.postponed == 1
+
+
+def test_small_request_still_fits_current_page_after_failure():
+    _, alloc = make(heap_bytes=256, page_size=256, n_groups=1)
+    alloc.allocate(0, 200)
+    assert alloc.allocate(0, 100) is None  # needs a new page, pool empty
+    assert alloc.allocate(0, 40) is not None  # fits remaining 56 bytes
+
+
+def test_reset_failures():
+    _, alloc = make(heap_bytes=256, page_size=256, n_groups=1)
+    alloc.allocate(0, 256)
+    alloc.allocate(0, 1)
+    assert alloc.failed_fraction == 1.0
+    alloc.reset_failures()
+    assert alloc.failed_fraction == 0.0
+
+
+def test_drop_stale_pages_after_eviction():
+    heap, alloc = make()
+    a = alloc.allocate(0, 8)
+    heap.evict([a.page])
+    alloc.drop_stale_pages()
+    b = alloc.allocate(0, 8)
+    assert b.page.segment != a.page.segment
+    assert b.offset == 0
+
+
+def test_addresses_match_heap_encoding():
+    heap, alloc = make()
+    a = alloc.allocate(3, 16)
+    assert a.cpu_addr == heap.cpu_addr(a.page, a.offset)
+    assert a.gpu_addr == heap.gpu_addr(a.cpu_addr)
+
+
+def test_group_out_of_range():
+    _, alloc = make(n_groups=2)
+    with pytest.raises(ValueError):
+        alloc.allocate(2, 8)
+
+
+def test_zero_groups_rejected():
+    heap = GpuHeap(512, 256)
+    with pytest.raises(ValueError):
+        BucketGroupAllocator(heap, 0)
+
+
+def test_bytes_allocated_counter():
+    _, alloc = make()
+    alloc.allocate(0, 10)
+    alloc.allocate(0, 30)
+    assert alloc.stats.bytes_allocated == 40
+    assert alloc.stats.requests == 2

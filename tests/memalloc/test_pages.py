@@ -1,0 +1,95 @@
+import pytest
+
+from repro.memalloc import Page, PageKind, PagePool
+
+
+def make_page(size=256):
+    return Page(slot=0, segment=0, kind=PageKind.GENERIC, group=0, page_size=size)
+
+
+def test_bump_allocation_advances():
+    p = make_page()
+    assert p.alloc(10) == 0
+    assert p.alloc(20) == 10
+    assert p.used == 30
+    assert p.free == 226
+
+
+def test_full_page_returns_none():
+    p = make_page(64)
+    assert p.alloc(64) == 0
+    assert p.alloc(1) is None
+
+
+def test_oversized_allocation_raises():
+    p = make_page(64)
+    with pytest.raises(ValueError):
+        p.alloc(65)
+
+
+def test_zero_allocation_rejected():
+    with pytest.raises(ValueError):
+        make_page().alloc(0)
+
+
+def test_pool_slot_count():
+    pool = PagePool(heap_bytes=1024, page_size=256)
+    assert pool.n_slots == 4
+    assert pool.n_free == 4
+
+
+def test_pool_exhaustion():
+    pool = PagePool(1024, 256)
+    slots = [pool.take() for _ in range(4)]
+    assert None not in slots
+    assert len(set(slots)) == 4
+    assert pool.take() is None
+
+
+def test_pool_release_recycles():
+    pool = PagePool(512, 256)
+    a = pool.take()
+    pool.take()
+    assert pool.take() is None
+    pool.release(a)
+    assert pool.take() == a
+
+
+def test_double_release_rejected():
+    pool = PagePool(512, 256)
+    s = pool.take()
+    pool.release(s)
+    with pytest.raises(ValueError):
+        pool.release(s)
+
+
+def test_release_out_of_range():
+    pool = PagePool(512, 256)
+    with pytest.raises(ValueError):
+        pool.release(5)
+
+
+def test_slot_view_is_view_not_copy():
+    pool = PagePool(512, 256)
+    s = pool.take()
+    view = pool.slot_view(s)
+    view[0] = 42
+    assert pool.arena[s * 256] == 42
+
+
+def test_slot_views_disjoint():
+    pool = PagePool(512, 256)
+    v0, v1 = pool.slot_view(0), pool.slot_view(1)
+    v0[:] = 1
+    v1[:] = 2
+    assert v0[0] == 1 and v1[0] == 2
+
+
+def test_heap_smaller_than_page_rejected():
+    with pytest.raises(ValueError):
+        PagePool(100, 256)
+
+
+def test_page_size_truncation():
+    pool = PagePool(1000, 256)
+    assert pool.n_slots == 3

@@ -1,0 +1,106 @@
+"""Stateful property machine for the heap + allocator pair.
+
+Random interleavings of allocations, evictions, page-ins and pool churn,
+with the invariants the rest of the library silently relies on:
+
+* a segment id is never reused and never both resident and evicted;
+* physical slots are never shared by two resident pages;
+* bytes written through an allocation survive eviction and page-in;
+* pool accounting (free + used == slots) always balances.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.memalloc import BucketGroupAllocator, GpuHeap, PageKind
+
+
+class HeapMachine(RuleBasedStateMachine):
+    @initialize(
+        n_pages=st.integers(2, 8),
+        page_size=st.sampled_from([128, 256]),
+        n_groups=st.integers(1, 4),
+    )
+    def setup(self, n_pages, page_size, n_groups):
+        self.heap = GpuHeap(n_pages * page_size, page_size)
+        self.alloc = BucketGroupAllocator(self.heap, n_groups)
+        self.n_groups = n_groups
+        self.page_size = page_size
+        #: cpu_addr -> byte written there
+        self.written: dict[int, int] = {}
+        self.seen_segments: set[int] = set()
+
+    # ------------------------------------------------------------------
+    @rule(group=st.integers(0, 3), nbytes=st.integers(8, 64),
+          fill=st.integers(0, 255))
+    def allocate_and_write(self, group, nbytes, fill):
+        group = group % self.n_groups
+        a = self.alloc.allocate(group, nbytes, PageKind.GENERIC)
+        if a is None:
+            return  # POSTPONE is always legal
+        seg = a.page.segment
+        if seg not in self.seen_segments:
+            self.seen_segments.add(seg)
+        buf = self.heap.pool.slot_view(a.page.slot)
+        buf[a.offset] = fill
+        self.written[a.cpu_addr] = fill
+
+    @rule()
+    def evict_everything(self):
+        self.heap.evict_all()
+        self.alloc.drop_stale_pages()
+        self.alloc.reset_failures()
+
+    @precondition(lambda self: self.heap.resident_pages)
+    @rule(data=st.data())
+    def evict_one(self, data):
+        page = data.draw(st.sampled_from(self.heap.resident_pages))
+        self.heap.evict([page])
+        self.alloc.drop_stale_pages()
+
+    @precondition(lambda self: self.heap._store and self.heap.pool.n_free)
+    @rule(data=st.data())
+    def page_one_back_in(self, data):
+        seg = data.draw(st.sampled_from(sorted(self.heap._store)))
+        page = self.heap.page_in(seg)
+        assert page is not None
+        assert page.segment == seg
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def pool_accounting_balances(self):
+        pool = self.heap.pool
+        assert pool.n_free + pool.n_used == pool.n_slots
+        assert pool.n_used == len(self.heap.resident_pages)
+
+    @invariant()
+    def no_slot_shared(self):
+        slots = [p.slot for p in self.heap.resident_pages]
+        assert len(slots) == len(set(slots))
+
+    @invariant()
+    def segments_partitioned(self):
+        resident = {p.segment for p in self.heap.resident_pages}
+        stored = set(self.heap._store)
+        assert not resident & stored
+        assert resident | stored <= self.seen_segments | resident | stored
+
+    @invariant()
+    def written_bytes_always_readable(self):
+        for addr, expected in self.written.items():
+            buf, off = self.heap.resolve(addr)
+            assert buf[off] == expected
+
+
+TestHeapMachine = HeapMachine.TestCase
+TestHeapMachine.settings = settings(
+    max_examples=30, stateful_step_count=25, deadline=None
+)
