@@ -38,6 +38,7 @@ All allocations are rounded up to 8-byte alignment (:func:`aligned`).
 from __future__ import annotations
 
 import struct
+import sys
 
 import numpy as np
 
@@ -48,6 +49,9 @@ __all__ = [
     "FLAG_PENDING",
     "aligned",
     "entry_size",
+    "entry_sizes_bulk",
+    "scatter_rows",
+    "write_entries_bulk",
     "key_entry_size",
     "value_node_size",
     "write_entry",
@@ -71,6 +75,7 @@ ENTRY_HEADER = 24
 KEY_ENTRY_HEADER = 40
 VALUE_NODE_HEADER = 24
 FLAG_PENDING = 0x1
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 _QQ = struct.Struct("<qq")
 _II = struct.Struct("<II")
@@ -142,6 +147,81 @@ def set_entry_value(buf: np.ndarray, off: int, klen: int, value: bytes) -> None:
 def set_next_ptrs(buf: np.ndarray, off: int, next_gpu: int, next_cpu: int) -> None:
     """Rewrite an entry's chain pointers (eviction-time splicing)."""
     _QQ.pack_into(buf, off, next_gpu, next_cpu)
+
+
+# ----------------------------------------------------------------------
+# bulk (slab-style) generic-entry kernels over the flat heap arena
+# ----------------------------------------------------------------------
+def entry_sizes_bulk(klens: np.ndarray, vlens: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`entry_size` over length arrays."""
+    return (ENTRY_HEADER + klens + vlens + 7) & ~7
+
+
+def scatter_rows(
+    arena: np.ndarray,
+    starts: np.ndarray,
+    rows: np.ndarray,
+    lens: np.ndarray,
+) -> None:
+    """Scatter variable-length byte rows into a flat buffer.
+
+    ``rows`` is a padded ``(m, width)`` uint8 matrix; row ``j``'s first
+    ``lens[j]`` bytes land at ``arena[starts[j]:]``.  Vectorized over the
+    record axis, looping only over the (short) width axis, like
+    :func:`~repro.core.hashing.fnv1a_batch`.
+    """
+    if len(lens) == 0:
+        return
+    full = int(lens.min())
+    for col in range(full):
+        arena[starts + col] = rows[:, col]
+    for col in range(full, int(lens.max())):
+        live = lens > col
+        arena[starts[live] + col] = rows[live, col]
+
+
+def write_entries_bulk(
+    arena: np.ndarray,
+    pos: np.ndarray,
+    next_gpu: np.ndarray,
+    next_cpu: np.ndarray,
+    keys: np.ndarray,
+    klens: np.ndarray,
+    values: np.ndarray,
+    vlens: np.ndarray,
+) -> None:
+    """Vectorized :func:`write_entry` for ``m`` entries at flat positions.
+
+    ``pos`` holds each entry's byte position in ``arena`` (for heap pages:
+    ``slot * page_size + offset``); ``keys``/``values`` are padded uint8
+    matrices with true lengths ``klens``/``vlens``.  Headers are assembled
+    as an ``(m, 24)`` byte matrix and scattered in one fancy-indexed store.
+    """
+    m = len(pos)
+    if m == 0:
+        return
+    if _LITTLE_ENDIAN and arena.size % 8 == 0 and not (pos & 7).any():
+        # heap allocations are 8-byte aligned, so headers can be stored as
+        # whole words through wider views of the arena -- 4 scatters
+        # instead of a 24-column byte matrix.
+        w64 = arena.view(np.int64)
+        p8 = pos >> 3
+        w64[p8] = next_gpu
+        w64[p8 + 1] = next_cpu
+        w32 = arena.view(np.uint32)
+        p4 = pos >> 2
+        w32[p4 + 4] = klens
+        w32[p4 + 5] = vlens
+    else:  # pragma: no cover - exotic platforms / unaligned callers
+        hdr = np.empty((m, ENTRY_HEADER), dtype=np.uint8)
+        hdr[:, 0:8] = next_gpu.astype("<i8").reshape(m, 1).view(np.uint8)
+        hdr[:, 8:16] = next_cpu.astype("<i8").reshape(m, 1).view(np.uint8)
+        hdr[:, 16:20] = klens.astype("<u4").reshape(m, 1).view(np.uint8)
+        hdr[:, 20:24] = vlens.astype("<u4").reshape(m, 1).view(np.uint8)
+        arena[pos[:, None] + np.arange(ENTRY_HEADER)] = hdr
+    ko = pos + ENTRY_HEADER
+    scatter_rows(arena, ko, keys, klens)
+    scatter_rows(arena, ko + klens, values, vlens)
 
 
 # ----------------------------------------------------------------------

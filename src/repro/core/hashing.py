@@ -45,8 +45,13 @@ def fnv1a_batch(keys: np.ndarray, key_lens: np.ndarray) -> np.ndarray:
         raise ValueError("a key length exceeds the matrix width")
     h = np.full(n, FNV_OFFSET, dtype=np.uint64)
     lens = key_lens.astype(np.int64)
+    full = int(lens.min()) if n else 0
     with np.errstate(over="ignore"):  # uint64 wraparound is the algorithm
-        for col in range(width):
+        # columns where every key is still live: no mask, no gather/scatter
+        for col in range(full):
+            h ^= keys[:, col].astype(np.uint64)
+            h *= FNV_PRIME
+        for col in range(full, width):
             live = lens > col
             if not live.any():
                 break

@@ -26,7 +26,6 @@ import numpy as np
 
 from repro.core import entries as E
 from repro.core.buckets import BucketArray
-from repro.core.hashing import fnv1a_batch
 from repro.core.organizations import (
     CombiningOrganization,
     EvictionReport,
@@ -106,8 +105,9 @@ class GpuHashTable:
         tally = InsertTally()
         if len(indices) == 0:
             return InsertResult(np.zeros(0, dtype=bool), BatchStats(), tally)
-        hashes = fnv1a_batch(batch.keys[indices], batch.key_lens[indices])
-        bucket_ids = self.buckets.bucket_of_hash(hashes).astype(np.int64)
+        # Hash the full batch once (memoized on the batch) and index into
+        # it: reissued pending subsets cost a gather, not a re-hash.
+        bucket_ids = batch.cache.bucket_ids(self.buckets)[indices]
         success = self.org.insert_indices(self, batch, indices, bucket_ids, tally)
         stats = self._stats_from(batch, indices, bucket_ids, tally)
         self.total_inserted += tally.succeeded

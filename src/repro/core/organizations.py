@@ -12,6 +12,24 @@ Each organization implements
 The insert paths do the *real* work -- packing entries into heap pages and
 maintaining both pointer chains -- while counting probe steps, touched bytes
 and allocation contention for the cost model.
+
+Every organization carries two interchangeable insert implementations,
+selected by the ``impl`` constructor argument:
+
+* ``"vectorized"`` (default) -- batched kernels shaped like a real GPU hash
+  table's bulk-synchronous insert path: records are bucketized, allocation
+  space is reserved per bucket group in one pass
+  (:meth:`~repro.memalloc.allocator.BucketGroupAllocator.allocate_many`),
+  entries are packed with slab-style numpy scatter writes, and chain heads
+  are updated with grouped last-writer-wins scatters.  The probing
+  organizations materialize each bucket's resident chain prefix once per
+  batch and replay walks against it.
+* ``"slow_reference"`` -- the original one-record-at-a-time loops, kept as
+  the differential-testing oracle.
+
+Both produce bit-identical tables, success masks, and cost tallies; only
+wall-clock time differs.  Simulated-time accounting is therefore unaffected
+by the choice (see docs/cost_model.md, "Host-side performance architecture").
 """
 
 from __future__ import annotations
@@ -36,6 +54,7 @@ __all__ = [
     "MultiValuedOrganization",
     "CombiningOrganization",
     "EvictionReport",
+    "IMPLS",
     "HASH_CYCLES_PER_BYTE",
     "PROBE_CYCLES",
     "INSERT_CYCLES",
@@ -47,6 +66,56 @@ PROBE_CYCLES = 12.0
 INSERT_CYCLES = 30.0
 #: maintenance cost per entry visited while splicing retained chains
 SPLICE_CYCLES = 20.0
+
+#: valid insert-path implementations
+IMPLS = ("vectorized", "slow_reference")
+
+
+class _ChainReplay:
+    """Materialized resident prefix of one bucket chain.
+
+    Entries are stored tail-first (``append_head`` == prepend to the chain)
+    so positions stay stable while inserts prepend.  :meth:`replay` charges
+    the same probe steps, touched bytes, and trace accesses as re-walking
+    the real chain entry by entry, but resolves the key in one dict lookup
+    -- keys are unique within the resident prefix, because an insert only
+    creates an entry after a walk missed.
+    """
+
+    __slots__ = ("addrs", "costs", "cum", "refs", "index")
+
+    def __init__(self) -> None:
+        self.addrs: list[int] = []  # cpu address per entry (tail-first)
+        self.costs: list[int] = []  # bytes charged when the walk visits it
+        self.cum: list[int] = []  # cumulative costs from the tail
+        self.refs: list[tuple] = []  # organization-specific entry handle
+        self.index: dict[bytes, int] = {}  # key -> tail position
+
+    def append_head(self, addr: int, cost: int, key: bytes, ref: tuple) -> None:
+        t = len(self.addrs)
+        self.addrs.append(addr)
+        self.costs.append(cost)
+        self.cum.append((self.cum[-1] if t else 0) + cost)
+        self.refs.append(ref)
+        self.index[key] = t
+
+    def replay(self, key: bytes, tally: "InsertTally", trace) -> tuple | None:
+        n = len(self.addrs)
+        t = self.index.get(key)
+        if t is None:  # miss: the walk visits the whole resident prefix
+            if n:
+                tally.probe_steps += n
+                tally.bytes_touched += self.cum[-1]
+                if trace is not None:
+                    for i in range(n - 1, -1, -1):
+                        trace.on_access(self.addrs[i], self.costs[i])
+            return None
+        tally.probe_steps += n - t
+        tally.bytes_touched += self.cum[-1] - self.cum[t] + self.costs[t]
+        if trace is not None:
+            for i in range(n - 1, t - 1, -1):
+                trace.on_access(self.addrs[i], self.costs[i])
+        return self.refs[t]
 
 
 @dataclass
@@ -82,6 +151,13 @@ class Organization:
     kind: str = "abstract"
     #: page kinds this organization allocates from
     page_kinds: tuple[PageKind, ...] = (PageKind.GENERIC,)
+    #: insert-path implementation ("vectorized" | "slow_reference")
+    impl: str = "vectorized"
+
+    def _set_impl(self, impl: str) -> None:
+        if impl not in IMPLS:
+            raise ValueError(f"impl must be one of {IMPLS}: {impl!r}")
+        self.impl = impl
 
     def insert_indices(
         self,
@@ -91,7 +167,17 @@ class Organization:
         buckets: np.ndarray,
         tally: InsertTally,
     ) -> np.ndarray:
+        """Dispatch to the batched kernel or the scalar slow reference."""
+        if self.impl == "slow_reference":
+            return self._insert_scalar(table, batch, idx, buckets, tally)
+        return self._insert_vectorized(table, batch, idx, buckets, tally)
+
+    def _insert_scalar(self, table, batch, idx, buckets, tally) -> np.ndarray:
         raise NotImplementedError
+
+    def _insert_vectorized(self, table, batch, idx, buckets, tally) -> np.ndarray:
+        # organizations without a batched kernel fall back to the reference
+        return self._insert_scalar(table, batch, idx, buckets, tally)
 
     def should_halt(self, table: "GpuHashTable") -> bool:
         return False
@@ -147,15 +233,88 @@ class BasicOrganization(Organization):
 
     kind = "basic"
 
-    def __init__(self, halt_threshold: float = 0.5):
+    def __init__(self, halt_threshold: float = 0.5, impl: str = "vectorized"):
         if not 0.0 < halt_threshold <= 1.0:
             raise ValueError(f"halt threshold must be in (0, 1]: {halt_threshold}")
         self.halt_threshold = halt_threshold
+        self._set_impl(impl)
 
     def should_halt(self, table) -> bool:
         return table.alloc.failed_fraction >= self.halt_threshold
 
-    def insert_indices(self, table, batch, idx, buckets, tally):
+    def _insert_vectorized(self, table, batch, idx, buckets, tally):
+        """Batched insert: bulk-reserve, slab-write, scatter chain heads.
+
+        No per-record Python work: allocation space for the whole batch is
+        reserved per bucket group in one :meth:`allocate_many` pass, all
+        entries are packed into heap pages with vectorized scatter writes,
+        and chain pointers are derived by bucket-grouping the successful
+        records (stable sort keeps arrival order, so chains stay
+        newest-first and bit-identical to the scalar path).
+        """
+        if batch.values is None:
+            raise ValueError("batch carries numeric values")
+        heap = table.heap
+        group_size = table.buckets.group_size
+        m = len(idx)
+        klens = batch.key_lens[idx].astype(np.int64)
+        vlens = batch.val_lens[idx].astype(np.int64)
+        sizes = E.entry_sizes_bulk(klens, vlens)
+        groups = buckets // group_size
+        # The allocator needs requests in *arrival* order within each group
+        # (page-fill boundaries must match the sequential reference), so it
+        # computes its own group-stable sort; the bucket sort below is only
+        # for chain linking and orders records within a group by bucket id.
+        bucket_order = np.argsort(buckets, kind="stable")
+        bulk = table.alloc.allocate_many(groups, sizes, PageKind.GENERIC)
+        ok = bulk.ok
+        n_ok = int(ok.sum())
+        tally.attempted += m
+        # 3 * klen + 30 per record: integer-valued floats, so any summation
+        # order is exact and matches the scalar accumulation bit for bit.
+        tally.table_cycles += float(
+            HASH_CYCLES_PER_BYTE * int(klens.sum()) + INSERT_CYCLES * m
+        )
+        tally.succeeded += n_ok
+        tally.postponed += m - n_ok
+        if n_ok == 0:
+            return ok
+        tally.bytes_touched += int((sizes[ok] + 16).sum())
+        tally.alloc_groups.extend(groups[ok].tolist())
+
+        # chain linking: within each bucket, entry j points at the entry
+        # inserted just before it (or the old head), and the bucket head
+        # ends at the last arrival -- grouped last-writer-wins.
+        head_gpu = table.buckets.head_gpu
+        head_cpu = table.buckets.head_cpu
+        sel = bucket_order[ok[bucket_order]]  # successes in (bucket, arrival) order
+        bs = buckets[sel]
+        gaddr = bulk.gpu_addr[sel]
+        caddr = bulk.cpu_addr[sel]
+        first = np.r_[True, bs[1:] != bs[:-1]]
+        prev_g = np.r_[NULL, gaddr[:-1]]
+        prev_c = np.r_[NULL, caddr[:-1]]
+        next_gpu = np.where(first, head_gpu[bs], prev_g)
+        next_cpu = np.where(first, head_cpu[bs], prev_c)
+        last = np.r_[first[1:], True]
+        head_gpu[bs[last]] = gaddr[last]
+        head_cpu[bs[last]] = caddr[last]
+
+        # slab write of every new entry straight into the heap arena
+        rec = idx[sel]
+        pos = bulk.slot[sel] * heap.page_size + bulk.offset[sel]
+        E.write_entries_bulk(
+            heap.pool.arena, pos, next_gpu, next_cpu,
+            batch.keys[rec], batch.key_lens[rec].astype(np.int64),
+            batch.values[rec], batch.val_lens[rec].astype(np.int64),
+        )
+        trace = table.trace
+        if trace is not None:  # replay accesses in arrival order
+            for j in np.flatnonzero(ok).tolist():
+                trace.on_access(int(bulk.cpu_addr[j]), int(sizes[j]))
+        return ok
+
+    def _insert_scalar(self, table, batch, idx, buckets, tally):
         heap = table.heap
         alloc = table.alloc
         head_gpu = table.buckets.head_gpu
@@ -199,10 +358,109 @@ class CombiningOrganization(Organization):
 
     kind = "combining"
 
-    def __init__(self, combiner: Combiner):
+    def __init__(self, combiner: Combiner, impl: str = "vectorized"):
         self.combiner = combiner
+        self._set_impl(impl)
 
-    def insert_indices(self, table, batch, idx, buckets, tally):
+    @staticmethod
+    def _materialize_chain(table, addr: int) -> _ChainReplay:
+        """Walk one bucket's resident chain prefix once, recording every
+        entry so later walks in the same batch are dict lookups."""
+        heap = table.heap
+        page_size = heap.page_size
+        walked = []  # head-first
+        while addr != NULL:
+            seg, off = divmod(addr, page_size)
+            page = heap.resident_page(seg)
+            if page is None:
+                break
+            buf = heap.pool.slot_view(page.slot)
+            _, next_cpu, klen, _ = E.read_entry_header(buf, off)
+            key = E.entry_key(buf, off, klen)
+            walked.append((addr, E.ENTRY_HEADER + klen, key, (buf, off, klen)))
+            addr = next_cpu
+        chain = _ChainReplay()
+        for entry in reversed(walked):
+            chain.append_head(*entry)
+        return chain
+
+    def _insert_vectorized(self, table, batch, idx, buckets, tally):
+        """Batched combining insert: chain walks become replays.
+
+        Each touched bucket's resident chain is materialized once per
+        batch; every record then resolves its key in O(1) while charging
+        exactly the probe steps and bytes the real walk would.  Allocation,
+        packing, and in-place combines are unchanged.
+        """
+        if batch.numeric_values is None:
+            raise ValueError(
+                "the combining method stores fixed-width scalar values; "
+                "build the batch with numeric_values"
+            )
+        heap = table.heap
+        alloc = table.alloc
+        head_gpu = table.buckets.head_gpu
+        head_cpu = table.buckets.head_cpu
+        group_size = table.buckets.group_size
+        comb = self.combiner
+        fmt = comb.fmt
+        trace = table.trace
+        cache = batch.cache
+        all_keys = cache.key_bytes_list()
+        all_values = cache.numeric_list()
+        idx_list = idx.tolist()
+        bucket_list = buckets.tolist()
+        success = np.zeros(len(idx), dtype=bool)
+        chains: dict[int, _ChainReplay] = {}
+        for j, i in enumerate(idx_list):
+            b = bucket_list[j]
+            key = all_keys[i]
+            v = all_values[i]
+            tally.attempted += 1
+            tally.table_cycles += HASH_CYCLES_PER_BYTE * len(key)
+            chain = chains.get(b)
+            if chain is None:
+                chain = self._materialize_chain(table, int(head_cpu[b]))
+                chains[b] = chain
+            ref = chain.replay(key, tally, trace)
+            if ref is not None:
+                buf, off, klen = ref
+                vo = off + E.ENTRY_HEADER + klen
+                stored = fmt.unpack_from(buf, vo)[0]
+                fmt.pack_into(buf, vo, comb.combine(stored, v))
+                tally.table_cycles += comb.cycles
+                tally.bytes_touched += 16
+                tally.succeeded += 1
+                if trace is not None:
+                    trace.on_access(int(head_cpu[b]), 8)
+                success[j] = True
+                continue
+            size = E.entry_size(len(key), comb.value_size)
+            a = alloc.allocate(b // group_size, size, PageKind.GENERIC)
+            tally.table_cycles += INSERT_CYCLES
+            if a is None:
+                tally.postponed += 1
+                continue
+            buf = heap.pool.slot_view(a.page.slot)
+            E.write_entry(
+                buf, a.offset, int(head_gpu[b]), int(head_cpu[b]),
+                key, comb.pack(v),
+            )
+            head_gpu[b] = a.gpu_addr
+            head_cpu[b] = a.cpu_addr
+            chain.append_head(
+                a.cpu_addr, E.ENTRY_HEADER + len(key), key,
+                (buf, a.offset, len(key)),
+            )
+            tally.succeeded += 1
+            tally.bytes_touched += size + 16
+            tally.alloc_groups.append(b // group_size)
+            if trace is not None:
+                trace.on_access(a.cpu_addr, size)
+            success[j] = True
+        return success
+
+    def _insert_scalar(self, table, batch, idx, buckets, tally):
         if batch.numeric_values is None:
             raise ValueError(
                 "the combining method stores fixed-width scalar values; "
@@ -272,11 +530,14 @@ class MultiValuedOrganization(Organization):
     kind = "multi-valued"
     page_kinds = (PageKind.KEY, PageKind.VALUE)
 
-    def __init__(self, pin_retention_limit: float = 0.5) -> None:
+    def __init__(
+        self, pin_retention_limit: float = 0.5, impl: str = "vectorized"
+    ) -> None:
         if not 0.0 < pin_retention_limit <= 1.0:
             raise ValueError(
                 f"pin retention limit must be in (0, 1]: {pin_retention_limit}"
             )
+        self._set_impl(impl)
         #: per-segment count of PENDING keys (drives page pinning)
         self._pin_counts: dict[int, int] = {}
         #: when pinned pages exceed this fraction of the resident heap at
@@ -353,7 +614,97 @@ class MultiValuedOrganization(Organization):
             trace.on_access(a.cpu_addr, size)
         return True
 
-    def insert_indices(self, table, batch, idx, buckets, tally):
+    @staticmethod
+    def _materialize_keychain(table, addr: int) -> _ChainReplay:
+        """Materialize one bucket's resident key-entry chain prefix."""
+        heap = table.heap
+        page_size = heap.page_size
+        walked = []  # head-first
+        while addr != NULL:
+            seg, off = divmod(addr, page_size)
+            page = heap.resident_page(seg)
+            if page is None:
+                break
+            buf = heap.pool.slot_view(page.slot)
+            hdr = E.read_key_entry_header(buf, off)
+            next_cpu, klen = hdr[1], hdr[4]
+            key = E.key_entry_key(buf, off, klen)
+            walked.append(
+                (addr, E.KEY_ENTRY_HEADER + klen, key, (buf, off, seg))
+            )
+            addr = next_cpu
+        chain = _ChainReplay()
+        for entry in reversed(walked):
+            chain.append_head(*entry)
+        return chain
+
+    def _insert_vectorized(self, table, batch, idx, buckets, tally):
+        """Batched multi-valued insert: key lookups become chain replays.
+
+        Key-entry chains are materialized once per touched bucket; pending
+        flags, value-node appends, and page pinning are unchanged from the
+        scalar reference.
+        """
+        if batch.values is None:
+            raise ValueError("the multi-valued method requires byte values")
+        heap = table.heap
+        alloc = table.alloc
+        head_gpu = table.buckets.head_gpu
+        head_cpu = table.buckets.head_cpu
+        group_size = table.buckets.group_size
+        trace = table.trace
+        cache = batch.cache
+        all_keys = cache.key_bytes_list()
+        all_values = cache.value_bytes_list()
+        idx_list = idx.tolist()
+        bucket_list = buckets.tolist()
+        success = np.zeros(len(idx), dtype=bool)
+        chains: dict[int, _ChainReplay] = {}
+        for j, i in enumerate(idx_list):
+            b = bucket_list[j]
+            group = b // group_size
+            key = all_keys[i]
+            value = all_values[i]
+            tally.attempted += 1
+            tally.table_cycles += HASH_CYCLES_PER_BYTE * len(key) + INSERT_CYCLES
+            chain = chains.get(b)
+            if chain is None:
+                chain = self._materialize_keychain(table, int(head_cpu[b]))
+                chains[b] = chain
+            hit = chain.replay(key, tally, trace)
+            if hit is None:
+                ksize = E.key_entry_size(len(key))
+                a = alloc.allocate(group, ksize, PageKind.KEY)
+                if a is None:
+                    tally.postponed += 1
+                    continue
+                kbuf = heap.pool.slot_view(a.page.slot)
+                E.write_key_entry(
+                    kbuf, a.offset, int(head_gpu[b]), int(head_cpu[b]), key
+                )
+                head_gpu[b] = a.gpu_addr
+                head_cpu[b] = a.cpu_addr
+                tally.bytes_touched += ksize + 16
+                tally.alloc_groups.append(group)
+                if trace is not None:
+                    trace.on_access(a.cpu_addr, ksize)
+                hit = (kbuf, a.offset, a.page.segment)
+                chain.append_head(
+                    a.cpu_addr, E.KEY_ENTRY_HEADER + len(key), key, hit
+                )
+            kbuf, koff, kseg = hit
+            if self._append_value(table, tally, trace, kbuf, koff, group, value):
+                self._clear_pending(table, kbuf, kseg, koff)
+                tally.succeeded += 1
+                success[j] = True
+            else:
+                # The key entry exists but its value could not be stored:
+                # flag it so its page is retained across the eviction.
+                self._set_pending(table, kbuf, kseg, koff)
+                tally.postponed += 1
+        return success
+
+    def _insert_scalar(self, table, batch, idx, buckets, tally):
         if batch.values is None:
             raise ValueError("the multi-valued method requires byte values")
         heap = table.heap

@@ -13,10 +13,86 @@ key at its exact length (Section IV, third advantage of dynamic allocation).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-__all__ = ["RecordBatch", "pack_str_keys", "pack_byte_rows"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.buckets import BucketArray
+
+__all__ = ["BatchCache", "RecordBatch", "pack_str_keys", "pack_byte_rows"]
+
+
+class BatchCache:
+    """Cross-iteration memoization of a batch's derived materializations.
+
+    The SEPO driver re-visits every batch once per iteration until its
+    pending bitmap is clean; without a cache, each pass re-hashes and
+    re-packs every still-pending record.  The cache computes FNV-1a hashes,
+    bucket ids, and key/value byte materializations once for the *full*
+    batch and lets reissued subsets index into them.
+
+    While a cache is attached, the batch's payload arrays are frozen
+    (``writeable = False``) so a stale cache cannot silently diverge from
+    mutated data; call :meth:`RecordBatch.invalidate_cache` before mutating.
+    """
+
+    def __init__(self, batch: "RecordBatch"):
+        self._batch = batch
+        self._hashes: np.ndarray | None = None
+        self._bucket_ids: dict[int, np.ndarray] = {}
+        self._keys: list[bytes] | None = None
+        self._values: list[bytes] | None = None
+        self._numeric: list | None = None
+
+    def hashes(self) -> np.ndarray:
+        """Full-batch FNV-1a hashes, computed once."""
+        if self._hashes is None:
+            from repro.core.hashing import fnv1a_batch
+
+            b = self._batch
+            self._hashes = fnv1a_batch(b.keys, b.key_lens)
+        return self._hashes
+
+    def bucket_ids(self, buckets: "BucketArray") -> np.ndarray:
+        """Full-batch bucket ids for a table's bucket array, memoized per
+        bucket count (the same batch can feed differently sized tables)."""
+        cached = self._bucket_ids.get(buckets.n_buckets)
+        if cached is None:
+            cached = buckets.bucket_of_hash(self.hashes()).astype(np.int64)
+            self._bucket_ids[buckets.n_buckets] = cached
+        return cached
+
+    def key_bytes_list(self) -> list[bytes]:
+        """All keys as exact-length ``bytes``, computed once."""
+        if self._keys is None:
+            b = self._batch
+            lens = b.key_lens.tolist()
+            rows = b.keys
+            self._keys = [rows[i, : lens[i]].tobytes() for i in range(len(lens))]
+        return self._keys
+
+    def value_bytes_list(self) -> list[bytes]:
+        """All byte values as exact-length ``bytes``, computed once."""
+        if self._values is None:
+            b = self._batch
+            if b.values is None:
+                raise ValueError("batch carries numeric values")
+            lens = b.val_lens.tolist()
+            rows = b.values
+            self._values = [
+                rows[i, : lens[i]].tobytes() for i in range(len(lens))
+            ]
+        return self._values
+
+    def numeric_list(self) -> list:
+        """``numeric_values.tolist()``, computed once."""
+        if self._numeric is None:
+            b = self._batch
+            if b.numeric_values is None:
+                raise ValueError("batch carries byte values")
+            self._numeric = b.numeric_values.tolist()
+        return self._numeric
 
 
 def pack_byte_rows(rows: list[bytes]) -> tuple[np.ndarray, np.ndarray]:
@@ -87,6 +163,49 @@ class RecordBatch:
         return total
 
     # ------------------------------------------------------------------
+    # derived-data cache (see BatchCache)
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> BatchCache:
+        """The batch's :class:`BatchCache`, created (and payload arrays
+        frozen) on first access."""
+        cached = self.__dict__.get("_cache")
+        if cached is None:
+            cached = BatchCache(self)
+            self.__dict__["_cache"] = cached
+            self.__dict__["_frozen"] = self._set_writeable(False)
+        return cached
+
+    def invalidate_cache(self) -> None:
+        """Drop every memoized materialization and re-allow mutation.
+
+        Must be called before mutating ``keys``/``values``/``key_lens``/
+        ``val_lens``/``numeric_values`` once the batch has been inserted;
+        the arrays are read-only while a cache is attached, so forgetting
+        to do so raises instead of silently using stale data.
+        """
+        self.__dict__.pop("_cache", None)
+        restore = self.__dict__.pop("_frozen", None)
+        if restore:
+            self._set_writeable(True, restore)
+
+    def _set_writeable(self, flag: bool, only: list | None = None) -> list:
+        """(Un)freeze payload arrays; returns the arrays actually toggled."""
+        arrays = only
+        if arrays is None:
+            arrays = [
+                a
+                for a in (
+                    self.keys, self.key_lens, self.values, self.val_lens,
+                    self.numeric_values,
+                )
+                if a is not None and a.flags.writeable != flag
+            ]
+        for a in arrays:
+            a.flags.writeable = flag
+        return arrays
+
+    # ------------------------------------------------------------------
     def key_bytes(self, i: int) -> bytes:
         return self.keys[i, : self.key_lens[i]].tobytes()
 
@@ -96,20 +215,16 @@ class RecordBatch:
         The SEPO driver re-visits batches every iteration; the insert hot
         loops read keys through this cache instead of slicing per record.
         """
-        cached = getattr(self, "_key_cache", None)
-        if cached is None:
-            lens = self.key_lens.tolist()
-            rows = self.keys
-            cached = [
-                rows[i, : lens[i]].tobytes() for i in range(len(lens))
-            ]
-            object.__setattr__(self, "_key_cache", cached)
-        return cached
+        return self.cache.key_bytes_list()
 
     def value_bytes(self, i: int) -> bytes:
         if self.values is None:
             raise ValueError("batch carries numeric values")
         return self.values[i, : self.val_lens[i]].tobytes()
+
+    def value_bytes_list(self) -> list[bytes]:
+        """All byte values as bytes, computed once and cached."""
+        return self.cache.value_bytes_list()
 
     @classmethod
     def from_pairs(

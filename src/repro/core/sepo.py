@@ -148,6 +148,9 @@ class SepoDriver:
 
         iteration = 0
         stuck_passes = 0
+        #: chunks whose BatchCache has been released (hashes, bucket ids and
+        #: byte materializations are only worth keeping while reissues loom)
+        released = [False] * len(batches)
         while bitmap.any_pending():
             iteration += 1
             if iteration > self.max_iterations:
@@ -156,10 +159,14 @@ class SepoDriver:
                 )
             rec = IterationRecord(index=iteration)
             self.pipeline.begin_pass()
-            for batch, start in zip(batches, starts):
+            for ci, (batch, start) in enumerate(zip(batches, starts)):
                 pending = bitmap.pending_in(int(start), int(start) + len(batch))
                 if pending.size == 0:
-                    continue  # fully processed chunk: not re-streamed
+                    # fully processed chunk: not re-streamed, cache released
+                    if not released[ci]:
+                        batch.invalidate_cache()
+                        released[ci] = True
+                    continue
                 local = pending - int(start)
                 before = ledger.elapsed
                 result = self.table.insert_batch(batch, local)
@@ -191,6 +198,10 @@ class SepoDriver:
             rec.evicted_bytes = report.bytes_evicted
             rec.pages_retained = report.pages_retained
             log.append(rec)
+
+        for ci, batch in enumerate(batches):
+            if not released[ci]:
+                batch.invalidate_cache()
 
         return SepoReport(
             iterations=iteration,

@@ -20,13 +20,18 @@ CPU pointer (Section III-B).
 """
 
 from repro.memalloc.address import NULL, decode, encode
-from repro.memalloc.allocator import AllocationStats, BucketGroupAllocator
+from repro.memalloc.allocator import (
+    AllocationStats,
+    BucketGroupAllocator,
+    BulkAllocation,
+)
 from repro.memalloc.heap import GpuHeap
 from repro.memalloc.pages import Page, PageKind, PagePool
 
 __all__ = [
     "AllocationStats",
     "BucketGroupAllocator",
+    "BulkAllocation",
     "GpuHeap",
     "NULL",
     "Page",

@@ -18,10 +18,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.memalloc.heap import GpuHeap
 from repro.memalloc.pages import Page, PageKind
 
-__all__ = ["AllocationStats", "BucketGroupAllocator"]
+__all__ = ["AllocationStats", "BucketGroupAllocator", "BulkAllocation"]
 
 
 @dataclass
@@ -42,6 +44,22 @@ class Allocation:
     offset: int
     cpu_addr: int
     gpu_addr: int
+
+
+@dataclass
+class BulkAllocation:
+    """Result of :meth:`BucketGroupAllocator.allocate_many`.
+
+    All arrays are aligned with the request order; ``slot``/``segment``/
+    ``offset``/``cpu_addr``/``gpu_addr`` are only meaningful where ``ok``.
+    """
+
+    ok: np.ndarray  # (n,) bool
+    slot: np.ndarray  # (n,) int64
+    segment: np.ndarray  # (n,) int64
+    offset: np.ndarray  # (n,) int64
+    cpu_addr: np.ndarray  # (n,) int64
+    gpu_addr: np.ndarray  # (n,) int64
 
 
 class BucketGroupAllocator:
@@ -85,6 +103,142 @@ class BucketGroupAllocator:
             cpu_addr=self.heap.cpu_addr(page, offset),
             gpu_addr=page.slot * self.heap.page_size + offset,
         )
+
+    # ------------------------------------------------------------------
+    def allocate_many(
+        self,
+        groups: np.ndarray,
+        sizes: np.ndarray,
+        kind: PageKind = PageKind.GENERIC,
+        sorted_order: np.ndarray | None = None,
+    ) -> BulkAllocation:
+        """Bulk equivalent of calling :meth:`allocate` once per request.
+
+        Requests are honoured *as if* served one at a time in array order:
+        the same requests succeed, the same offsets are handed out, fresh
+        pages are taken from the pool in the same order (so segment ids and
+        slots match the sequential path exactly), and the allocator's stats
+        and sticky failure set end up identical.  The fast path plans each
+        bucket group's bump allocation with one cumulative sum per page;
+        only the post-pool-exhaustion tail (where a smaller later request
+        can still squeeze into a group's current page) falls back to the
+        scalar loop.
+
+        ``sorted_order`` optionally passes in a precomputed **stable**
+        argsort of ``groups``.  It must preserve arrival order within each
+        group -- page-fill boundaries depend on it -- so an argsort by
+        bucket id does *not* qualify even though it groups correctly.
+        """
+        groups = np.asarray(groups, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        n = len(groups)
+        if sizes.shape != (n,):
+            raise ValueError("groups and sizes must have matching lengths")
+        page_size = self.heap.page_size
+        ok = np.zeros(n, dtype=bool)
+        slot = np.full(n, -1, dtype=np.int64)
+        segment = np.full(n, -1, dtype=np.int64)
+        offset = np.full(n, -1, dtype=np.int64)
+        if n == 0:
+            addr = np.full(0, -1, dtype=np.int64)
+            return BulkAllocation(ok, slot, segment, offset, addr, addr.copy())
+        if int(groups.min()) < 0 or int(groups.max()) >= self.n_groups:
+            raise ValueError("a group index is out of range")
+        if int(sizes.min()) <= 0:
+            raise ValueError("allocation sizes must be positive")
+        if int(sizes.max()) > page_size:
+            raise ValueError(
+                f"an allocation exceeds the page size {page_size}"
+            )
+
+        if sorted_order is None:
+            order = np.argsort(groups, kind="stable")
+        else:
+            order = sorted_order
+        sorted_groups = groups[order]
+        run_starts = np.flatnonzero(
+            np.r_[True, sorted_groups[1:] != sorted_groups[:-1]]
+        ).tolist()
+        run_ends = run_starts[1:] + [n]
+
+        # Phase A: plan every group's bump allocation assuming the pool is
+        # infinite.  A "span" is a maximal run of requests served by one
+        # page; a span opening a fresh page records the request index that
+        # triggers the page take, so pages can later be granted in the
+        # exact order the sequential path would take them.  One global
+        # cumulative sum (in group-sorted order) serves every group's
+        # bump-pointer arithmetic; page boundaries are binary searches.
+        sorted_sizes = sizes[order]
+        c = np.cumsum(sorted_sizes)
+        spans = []  # [positions, offsets, Page | None (fresh, ungranted), group]
+        triggers = []  # (triggering request index, span)
+        searchsorted = np.searchsorted
+        for s0, s1 in zip(run_starts, run_ends):
+            g = int(sorted_groups[s0])
+            page = self._current.get((g, kind))
+            cur_used = page.used if page is not None else page_size
+            i0 = s0
+            consumed = int(c[s0 - 1]) if s0 else 0
+            while i0 < s1:
+                free = page_size - cur_used
+                k = min(int(searchsorted(c, consumed + free, "right")), s1)
+                if k == i0:  # next request needs a fresh page
+                    span = [None, None, None, g]
+                    triggers.append((int(order[i0]), span))
+                    spans.append(span)
+                    cur_used = 0
+                    k = min(
+                        int(searchsorted(c, consumed + page_size, "right")), s1
+                    )
+                    span[0] = order[i0:k]
+                    span[1] = c[i0:k] - sorted_sizes[i0:k] - consumed
+                else:
+                    spans.append(
+                        [order[i0:k],
+                         cur_used + (c[i0:k] - sorted_sizes[i0:k] - consumed),
+                         page, g]
+                    )
+                cur_used += int(c[k - 1] - consumed)
+                consumed = int(c[k - 1])
+                i0 = k
+
+        # Phase B: grant fresh pages in trigger order.  When the pool runs
+        # out, the remaining spans' requests are replayed through the
+        # scalar path (they can still partially succeed from the group's
+        # current page), which also records the sticky group failures.
+        triggers.sort(key=lambda t: t[0])
+        grantable = min(len(triggers), self.heap.pool.n_free)
+        for _, span in triggers[:grantable]:
+            fresh = self.heap.alloc_page(kind, span[3])
+            assert fresh is not None
+            self.stats.pages_taken += 1
+            span[2] = fresh
+
+        fallback: list[int] = []
+        for pos, offs, page, g in spans:
+            if page is None:  # fresh page the pool could not provide
+                fallback.extend(pos.tolist())
+                continue
+            last = len(pos) - 1
+            page.used = int(offs[last]) + int(sizes[pos[last]])
+            self._current[(g, kind)] = page
+            ok[pos] = True
+            slot[pos] = page.slot
+            segment[pos] = page.segment
+            offset[pos] = offs
+            self.stats.requests += len(pos)
+            self.stats.bytes_allocated += int(sizes[pos].sum())
+        for p in sorted(fallback):
+            a = self.allocate(int(groups[p]), int(sizes[p]), kind)
+            if a is not None:
+                ok[p] = True
+                slot[p] = a.page.slot
+                segment[p] = a.page.segment
+                offset[p] = a.offset
+
+        cpu_addr = np.where(ok, segment * page_size + offset, -1)
+        gpu_addr = np.where(ok, slot * page_size + offset, -1)
+        return BulkAllocation(ok, slot, segment, offset, cpu_addr, gpu_addr)
 
     # ------------------------------------------------------------------
     @property

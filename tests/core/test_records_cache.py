@@ -1,0 +1,121 @@
+"""BatchCache: cross-iteration memoization with freeze-based invalidation.
+
+The cache trades a one-time full-batch materialization (hashes, bucket ids,
+byte lists) for cheap gathers on every reissue.  Correctness hinges on the
+freeze protocol: payload arrays are read-only while a cache is attached, so
+mutating without :meth:`RecordBatch.invalidate_cache` raises instead of
+serving stale derived data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RecordBatch
+from repro.core.buckets import BucketArray
+from repro.core.hashing import fnv1a, fnv1a_batch
+from repro.core.records import BatchCache
+
+
+PAIRS = [(b"alpha", b"1"), (b"", b""), (b"gamma-long-key", b"22"), (b"d", b"3")]
+
+
+def byte_batch():
+    return RecordBatch.from_pairs(list(PAIRS))
+
+
+def numeric_batch():
+    return RecordBatch.from_numeric(
+        [k for k, _ in PAIRS], np.arange(len(PAIRS), dtype=np.int64)
+    )
+
+
+def test_hashes_match_scalar_and_are_memoized():
+    b = byte_batch()
+    h1 = b.cache.hashes()
+    np.testing.assert_array_equal(
+        h1, np.array([fnv1a(k) for k, _ in PAIRS], dtype=np.uint64)
+    )
+    assert b.cache.hashes() is h1  # memoized, not recomputed
+
+
+def test_bucket_ids_memoized_per_table_size():
+    b = byte_batch()
+    small, big = BucketArray(8, 4), BucketArray(64, 4)
+    ids_small = b.cache.bucket_ids(small)
+    ids_big = b.cache.bucket_ids(big)
+    assert ids_small.dtype == np.int64
+    np.testing.assert_array_equal(
+        ids_small, small.bucket_of_hash(fnv1a_batch(b.keys, b.key_lens))
+    )
+    # distinct memo per bucket count, stable identity per count
+    assert b.cache.bucket_ids(small) is ids_small
+    assert b.cache.bucket_ids(big) is ids_big
+    assert not np.array_equal(ids_small, ids_big)
+
+
+def test_byte_lists_roundtrip_and_are_memoized():
+    b = byte_batch()
+    keys = b.key_bytes_list()
+    values = b.value_bytes_list()
+    assert keys == [k for k, _ in PAIRS]
+    assert values == [v for _, v in PAIRS]
+    assert b.key_bytes_list() is keys
+    assert b.value_bytes_list() is values
+
+
+def test_numeric_list_and_kind_errors():
+    nb = numeric_batch()
+    assert nb.cache.numeric_list() == [0, 1, 2, 3]
+    with pytest.raises(ValueError, match="numeric"):
+        nb.cache.value_bytes_list()
+    with pytest.raises(ValueError, match="byte"):
+        byte_batch().cache.numeric_list()
+
+
+def test_cache_attachment_freezes_payload_arrays():
+    b = byte_batch()
+    assert b.keys.flags.writeable
+    b.cache.hashes()
+    for arr in (b.keys, b.key_lens, b.values, b.val_lens):
+        assert not arr.flags.writeable
+    with pytest.raises(ValueError):
+        b.keys[0, 0] = 99  # numpy refuses writes to frozen arrays
+
+
+def test_invalidate_restores_writability_and_recomputes():
+    b = byte_batch()
+    stale_keys = b.key_bytes_list()
+    stale_hashes = b.cache.hashes()
+    b.invalidate_cache()
+    assert b.keys.flags.writeable
+    b.keys[0, 0] = ord(b"z")  # mutate: first key becomes b"zlpha"
+    fresh_keys = b.key_bytes_list()
+    assert fresh_keys is not stale_keys
+    assert fresh_keys[0] == b"zlpha"
+    assert b.cache.hashes()[0] == fnv1a(b"zlpha")
+    assert b.cache.hashes()[0] != stale_hashes[0]
+
+
+def test_invalidate_without_cache_is_harmless():
+    b = byte_batch()
+    b.invalidate_cache()  # never cached: no-op
+    assert b.keys.flags.writeable
+
+
+def test_freeze_respects_preexisting_readonly_arrays():
+    """Arrays already frozen by the caller stay frozen after invalidate."""
+    b = byte_batch()
+    b.keys.flags.writeable = False
+    b.cache.hashes()
+    b.invalidate_cache()
+    assert not b.keys.flags.writeable  # caller's freeze is preserved
+    assert b.key_lens.flags.writeable  # ours was undone
+
+
+def test_cache_is_stable_identity_until_invalidated():
+    b = byte_batch()
+    c = b.cache
+    assert b.cache is c
+    assert isinstance(c, BatchCache)
+    b.invalidate_cache()
+    assert b.cache is not c
