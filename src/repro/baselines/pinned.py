@@ -49,6 +49,7 @@ class PinnedHashTable:
         page_size: int = 16 << 10,
         heap_bytes: int = 1 << 28,
         chunk_bytes: int = 1 << 20,
+        sanitize: str | None = None,
     ):
         self.device = device
         self.n_buckets = n_buckets
@@ -56,6 +57,7 @@ class PinnedHashTable:
         self.page_size = page_size
         self.heap_bytes = heap_bytes
         self.chunk_bytes = chunk_bytes
+        self.sanitize = sanitize
 
     def run(self, app: Application, data: bytes) -> RunOutcome:
         from repro.memalloc.heap import GpuHeap
@@ -76,6 +78,7 @@ class PinnedHashTable:
             group_size=self.group_size,
             ledger=ledger,
             trace=counter,
+            sanitize=self.sanitize,
         )
         pipeline.begin_pass()
         for batch in batches:
@@ -96,6 +99,7 @@ class PinnedHashTable:
                     dtxn, max(1, (counter.nbytes - bytes0) // dtxn)
                 )
             pipeline.account(batch.input_bytes, ledger.elapsed - before)
+        table.sanitize_check("end")
         # No copyback phase: the table already lives in CPU memory.
         return RunOutcome(
             app=app.name,

@@ -60,13 +60,17 @@ class SortGroupStore:
         device: DeviceSpec = GTX_780TI,
         scale: int = 1,
         chunk_bytes: int = 1 << 20,
+        sanitize: str | None = None,
     ):
+        from repro.sanitize.sanitizer import resolve_level
+
         #: with a combiner the reduction collapses groups to scalars
         #: (Word-Count-like); without one it groups values (Mars MAP_GROUP)
         self.combiner = combiner
         self.device = device
         self.scale = scale
         self.chunk_bytes = chunk_bytes
+        self.sanitize = resolve_level(sanitize)
 
     # ------------------------------------------------------------------
     def run(self, batches: list[RecordBatch]) -> SortStoreResult:
@@ -111,7 +115,11 @@ class SortGroupStore:
             session.pipeline.account(
                 batch.input_bytes, session.ledger.elapsed - before
             )
+            if self.sanitize == "paranoid":
+                self._check_staging(keys, payloads, staged)
 
+        if self.sanitize != "off":
+            self._check_staging(keys, payloads, staged)
         output = self._sort_and_group(session, keys, payloads, staged)
         # Result copyback, as for the hash-table runs.
         session.bus.bulk(staged)
@@ -123,6 +131,30 @@ class SortGroupStore:
         )
 
     # ------------------------------------------------------------------
+    def _check_staging(self, keys, payloads, staged) -> None:
+        """Sanitizer: the staged byte count must reconcile with the pairs
+        actually held (an undercount would dodge the OOM check)."""
+        from repro.sanitize.sanitizer import SanitizerError, Violation
+
+        violations = []
+        if len(keys) != len(payloads):
+            violations.append(Violation(
+                "sortstore-pairing",
+                f"{len(keys)} keys staged against {len(payloads)} payloads",
+            ))
+        expected = sum(
+            len(k) + (8 if isinstance(v, int | float) else len(v) + 8)
+            for k, v in zip(keys, payloads)
+        )
+        if expected != staged:
+            violations.append(Violation(
+                "sortstore-bytes",
+                f"pair array holds {expected} bytes but {staged} were "
+                "charged against the GPU budget",
+            ))
+        if violations:
+            raise SanitizerError(violations)
+
     def _sort_and_group(self, session, keys, payloads, staged):
         """The separate grouping stage: radix sort + segmented reduction."""
         n = len(keys)

@@ -70,11 +70,15 @@ class StadiumHashTable:
         scale: int = 1,
         chunk_bytes: int = 1 << 20,
         max_load: float = 0.95,
+        sanitize: str | None = None,
     ):
+        from repro.sanitize.sanitizer import resolve_level
+
         if n_slots <= 0:
             raise ValueError(f"need slots: {n_slots}")
         if not 0.0 < max_load <= 1.0:
             raise ValueError(f"bad load cap: {max_load}")
+        self.sanitize = resolve_level(sanitize)
         self.n_slots = n_slots
         #: grouping semantics of the *final output* only; the table itself
         #: stores duplicates separately (the related-work point)
@@ -155,7 +159,11 @@ class StadiumHashTable:
             session.pipeline.account(
                 batch.input_bytes, session.ledger.elapsed - before
             )
+            if self.sanitize == "paranoid":
+                self._check_index(fingerprints, occupied, slots, stored)
 
+        if self.sanitize != "off":
+            self._check_index(fingerprints, occupied, slots, stored)
         output = self._group(session, slots)
         return StadiumResult(
             elapsed_seconds=session.ledger.elapsed,
@@ -166,6 +174,43 @@ class StadiumHashTable:
         )
 
     # ------------------------------------------------------------------
+    def _check_index(self, fingerprints, occupied, slots, stored) -> None:
+        """Sanitizer: the GPU index must agree with the CPU-side store.
+
+        Every occupied slot must hold a payload and a non-zero fingerprint,
+        and nothing may be stored behind an unoccupied slot (a lookup would
+        never find it).
+        """
+        from repro.sanitize.sanitizer import SanitizerError, Violation
+
+        violations = []
+        occ = set(np.flatnonzero(occupied).tolist())
+        if len(occ) != stored or len(slots) != stored:
+            violations.append(Violation(
+                "stadium-census",
+                f"{stored} pairs acknowledged but {len(occ)} index slots "
+                f"occupied and {len(slots)} payloads stored",
+            ))
+        for slot in occ - set(slots):
+            violations.append(Violation(
+                "stadium-missing-payload",
+                f"index slot {slot} is occupied but holds no CPU payload",
+            ))
+        for slot in set(slots) - occ:
+            violations.append(Violation(
+                "stadium-orphan-payload",
+                f"CPU payload at slot {slot} is invisible to the GPU index",
+            ))
+        zero_fp = [s for s in occ if fingerprints[s] == 0]
+        if zero_fp:
+            violations.append(Violation(
+                "stadium-fingerprint",
+                f"occupied slots {zero_fp[:5]} carry a zero fingerprint "
+                "(reads would skip them)",
+            ))
+        if violations:
+            raise SanitizerError(violations)
+
     def _group(self, session, slots) -> dict[bytes, Any]:
         """The separate grouping pass Stadium hashing forces on the host."""
         from repro.gpusim.device import XEON_E5_QUAD

@@ -73,7 +73,13 @@ class GpuHashTable:
         device_memory: DeviceMemory | None = None,
         ledger: CostLedger | None = None,
         trace=None,
+        sanitize: str | None = None,
     ):
+        from repro.sanitize.sanitizer import resolve_level
+
+        #: sanitize level ("off"|"end"|"iteration"|"paranoid"); None reads
+        #: the REPRO_SANITIZE environment override (CI's hook)
+        self.sanitize = resolve_level(sanitize)
         self.buckets = BucketArray(n_buckets, group_size, device_memory)
         self.heap = heap
         self.alloc = BucketGroupAllocator(heap, self.buckets.n_groups)
@@ -112,6 +118,8 @@ class GpuHashTable:
         stats = self._stats_from(batch, indices, bucket_ids, tally)
         self.total_inserted += tally.succeeded
         self.total_postponed += tally.postponed
+        if self.sanitize == "paranoid":
+            self.check_invariants()
         return InsertResult(success, stats, tally)
 
     def insert(self, key: bytes, value: Any) -> bool:
@@ -172,7 +180,31 @@ class GpuHashTable:
                 CostCategory.MAINTENANCE,
                 report.maintenance_cycles / self.maintenance_throughput,
             )
+        self.sanitize_check("iteration")
         return report
+
+    # ------------------------------------------------------------------
+    # sanitizer hooks (see repro.sanitize)
+    # ------------------------------------------------------------------
+    def check_invariants(self):
+        """Run a full sanitize pass now, regardless of the knob.
+
+        Raises :class:`~repro.sanitize.sanitizer.SanitizerError` on any
+        structural-invariant violation; returns the census report.
+        """
+        from repro.sanitize.sanitizer import check_table
+
+        return check_table(self)
+
+    def sanitize_check(self, point: str) -> None:
+        """Check invariants if the sanitize level covers ``point``
+        (``"end"`` | ``"iteration"`` | ``"batch"``)."""
+        if self.sanitize == "off":
+            return
+        from repro.sanitize.sanitizer import should_check
+
+        if should_check(self.sanitize, point):
+            self.check_invariants()
 
     # ------------------------------------------------------------------
     # CPU-side access (the dual-pointer payoff)

@@ -182,6 +182,16 @@ class Organization:
     def should_halt(self, table: "GpuHashTable") -> bool:
         return False
 
+    def reconcile_tally(self, table: "GpuHashTable", census) -> list[str]:
+        """Sanitizer hook: organization-specific tally-vs-census checks.
+
+        ``census`` is a :class:`~repro.sanitize.sanitizer.SanitizeReport`
+        holding the reachable-extent walk (``n_entries``,
+        ``n_value_nodes``).  Returns violation messages; an acknowledged
+        record that is not reachable was silently dropped.
+        """
+        return []
+
     def end_iteration(self, table: "GpuHashTable") -> EvictionReport:
         """Default policy: evict everything, reset all GPU chain heads."""
         report = EvictionReport()
@@ -241,6 +251,19 @@ class BasicOrganization(Organization):
 
     def should_halt(self, table) -> bool:
         return table.alloc.failed_fraction >= self.halt_threshold
+
+    def reconcile_tally(self, table, census) -> list[str]:
+        # One entry per acknowledged success, duplicates kept separately.
+        if census.n_entries != table.total_inserted:
+            return [
+                f"basic organization acknowledged {table.total_inserted} "
+                f"successful inserts but {census.n_entries} entries are "
+                "reachable: "
+                + ("records were silently dropped"
+                   if census.n_entries < table.total_inserted
+                   else "phantom entries appeared")
+            ]
+        return []
 
     def _insert_vectorized(self, table, batch, idx, buckets, tally):
         """Batched insert: bulk-reserve, slab-write, scatter chain heads.
@@ -361,6 +384,18 @@ class CombiningOrganization(Organization):
     def __init__(self, combiner: Combiner, impl: str = "vectorized"):
         self.combiner = combiner
         self._set_impl(impl)
+
+    def reconcile_tally(self, table, census) -> list[str]:
+        # In-place combines acknowledge a success without a new entry, so
+        # the census can only be *at most* the success count; more means
+        # entries appeared that no insert created.
+        if census.n_entries > table.total_inserted:
+            return [
+                f"combining organization acknowledged {table.total_inserted} "
+                f"successful inserts but {census.n_entries} entries are "
+                "reachable: phantom entries appeared"
+            ]
+        return []
 
     @staticmethod
     def _materialize_chain(table, addr: int) -> _ChainReplay:
@@ -546,6 +581,21 @@ class MultiValuedOrganization(Organization):
         #: pages until value throughput per pass collapses.  Flushed keys are
         #: re-created on retry and merged at finalization.
         self.pin_retention_limit = pin_retention_limit
+
+    def reconcile_tally(self, table, census) -> list[str]:
+        # Every acknowledged success appended exactly one value node (key
+        # entries are created on demand and may be duplicated by forced
+        # evictions, but values are never re-created).
+        if census.n_value_nodes != table.total_inserted:
+            return [
+                f"multi-valued organization acknowledged "
+                f"{table.total_inserted} successful inserts but "
+                f"{census.n_value_nodes} value nodes are reachable: "
+                + ("records were silently dropped"
+                   if census.n_value_nodes < table.total_inserted
+                   else "phantom value nodes appeared")
+            ]
+        return []
 
     # -- pending-flag bookkeeping --------------------------------------
     def _set_pending(self, table, buf, seg, off) -> None:

@@ -203,6 +203,10 @@ class SepoDriver:
             if not released[ci]:
                 batch.invalidate_cache()
 
+        # sanitize="end": one full invariant pass over the finished table
+        # (iteration/paranoid levels have already checked along the way).
+        self.table.sanitize_check("end")
+
         return SepoReport(
             iterations=iteration,
             total_records=total,

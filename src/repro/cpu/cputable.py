@@ -50,6 +50,7 @@ class CpuHashTable:
         page_size: int = 1 << 16,
         heap_fraction: float = 0.5,
         max_heap_bytes: int = 1 << 28,
+        sanitize: str | None = None,
     ):
         self.device = device
         self.ledger = CostLedger()
@@ -68,6 +69,7 @@ class CpuHashTable:
             group_size=group_size,
             device_memory=memory,
             ledger=self.ledger,
+            sanitize=sanitize,
         )
         self.kernel = KernelModel(device, self.ledger)
 
@@ -84,6 +86,7 @@ class CpuHashTable:
                 )
             self.kernel.charge(result.stats)
             total += len(batch)
+        self.table.sanitize_check("end")
         return CpuRunReport(
             total_records=total,
             elapsed_seconds=self.ledger.elapsed,

@@ -1,0 +1,53 @@
+"""Heap/table sanitizer + conformance & fault-injection harness.
+
+Three pieces (ISSUE: test archetype):
+
+* :mod:`repro.sanitize.sanitizer` -- an arena sanitizer that walks a live
+  :class:`~repro.memalloc.heap.GpuHeap` / hash table and verifies the
+  structural invariants of the dual-pointer design (extent containment,
+  no overlap, chain termination, GPU/CPU chain agreement, tally
+  reconciliation).  Hooked into the tables behind a ``sanitize`` knob
+  (``"off"|"end"|"iteration"|"paranoid"``, env override
+  ``REPRO_SANITIZE``).
+* :mod:`repro.sanitize.faults` -- deterministic fault injectors that
+  force the SEPO postponement/retry paths a comfortable heap never hits.
+* :mod:`repro.sanitize.conformance` -- an oracle-backed differential
+  harness running every table implementation over shared workloads.
+  Import it explicitly (``import repro.sanitize.conformance``); it is
+  *not* re-exported here because it imports the table implementations,
+  which themselves import this package for the knob.
+"""
+
+from repro.sanitize.faults import (
+    Fault,
+    MidIterationEviction,
+    PoolExhaustion,
+    ZeroCapacityStart,
+)
+from repro.sanitize.sanitizer import (
+    ENV_VAR,
+    LEVELS,
+    SanitizeReport,
+    SanitizerError,
+    Violation,
+    check_heap,
+    check_table,
+    resolve_level,
+    should_check,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "LEVELS",
+    "SanitizeReport",
+    "SanitizerError",
+    "Violation",
+    "check_heap",
+    "check_table",
+    "resolve_level",
+    "should_check",
+    "Fault",
+    "PoolExhaustion",
+    "MidIterationEviction",
+    "ZeroCapacityStart",
+]

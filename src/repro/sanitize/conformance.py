@@ -1,0 +1,484 @@
+"""Oracle-backed conformance matrix over every table implementation.
+
+Every implementation in the repo claims the same contract: feed it a
+stream of (key, value) records and it produces the grouped/combined
+mapping a plain Python dict would.  This module makes that claim
+testable *as a matrix*: shared deterministic workloads
+(:mod:`repro.sanitize.workloads`), one pure-dict oracle, and a registry
+of adapters running
+
+* the SEPO table under all three organizations x both insert-path
+  implementations (vectorized and slow-reference),
+* the CPU baseline (:class:`~repro.cpu.cputable.CpuHashTable`),
+* the pinned-heap baseline (:class:`~repro.baselines.pinned.PinnedHashTable`),
+* Stadium hashing (:class:`~repro.baselines.stadium.StadiumHashTable`),
+* the sort-then-group store (:class:`~repro.baselines.sortstore.SortGroupStore`),
+
+each with the arena sanitizer enabled.  SEPO implementations also run
+fault-injected cases (:mod:`repro.sanitize.faults`) that must *still*
+produce oracle-identical output -- postponement is a protocol, not data
+loss.  Baselines without a retry path run under-provisioned cases that
+must fail with their documented clean exception, never silently drop
+records.
+
+Runnable as a CI gate::
+
+    python -m repro.sanitize.conformance --seed 1 --n 400 --sanitize end
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sanitize import faults as F
+from repro.sanitize.workloads import make_batches, make_workload, oracle
+
+__all__ = [
+    "ImplSpec",
+    "Outcome",
+    "IMPLEMENTATIONS",
+    "WORKLOAD_NAMES",
+    "diff_results",
+    "run_case",
+    "run_matrix",
+    "main",
+]
+
+WORKLOAD_NAMES = ("uniform", "zipf", "all-duplicates")
+
+# -- SEPO table sizing: deliberately tiny so every workload overflows the
+# -- heap and exercises postponement + eviction (the paths under test).
+PAGE_SIZE = 512
+HEAP_PAGES = 12
+N_BUCKETS = 64
+GROUP_SIZE = 16
+
+
+@dataclass(frozen=True)
+class ImplSpec:
+    """One implementation in the conformance matrix."""
+
+    name: str
+    #: value semantics: "combining" | "basic" | "multi-valued"
+    mode: str
+    #: (batches, sanitize, fault) -> raw result mapping
+    runner: Callable[..., dict]
+    #: fault-injected cases: (fault_name, fault_or_none, expected_exc_or_none)
+    #: -- expected_exc None means the run must recover and match the oracle
+    fault_cases: tuple = ()
+
+
+@dataclass
+class Outcome:
+    """Result of one (implementation, workload[, fault]) cell."""
+
+    impl: str
+    workload: str
+    fault: str | None
+    ok: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        cell = f"{self.impl} / {self.workload}"
+        if self.fault:
+            cell += f" / {self.fault}"
+        mark = "ok  " if self.ok else "FAIL"
+        return f"[{mark}] {cell}" + (f": {self.detail}" if self.detail else "")
+
+
+# ----------------------------------------------------------------------
+# adapters
+# ----------------------------------------------------------------------
+def _run_sepo(org_factory, *, heap_pages=HEAP_PAGES):
+    """Runner for the SEPO table with a deliberately small GPU heap."""
+
+    def runner(batches, sanitize, fault=None):
+        from repro.core.hashtable import GpuHashTable
+        from repro.core.sepo import SepoDriver
+        from repro.gpusim.clock import CostLedger
+        from repro.gpusim.device import GTX_780TI
+        from repro.gpusim.kernel import KernelModel
+        from repro.gpusim.pcie import PCIeBus
+        from repro.memalloc.heap import GpuHeap
+
+        ledger = CostLedger()
+        heap = GpuHeap(heap_pages * PAGE_SIZE, PAGE_SIZE)
+        table = GpuHashTable(
+            n_buckets=N_BUCKETS,
+            organization=org_factory(),
+            heap=heap,
+            group_size=GROUP_SIZE,
+            ledger=ledger,
+            sanitize=sanitize,
+        )
+        driver = SepoDriver(
+            table,
+            KernelModel(GTX_780TI, ledger),
+            PCIeBus(ledger),
+            max_iterations=500,
+        )
+        if fault is not None:
+            fault.install(table, driver)
+        driver.run(batches)
+        return table.result()
+
+    return runner
+
+
+def _run_cpu(batches, sanitize, fault=None, **overrides):
+    from repro.core.combiners import SUM_I64
+    from repro.core.organizations import CombiningOrganization
+    from repro.cpu.cputable import CpuHashTable
+
+    kwargs = dict(
+        n_buckets=N_BUCKETS,
+        organization=CombiningOrganization(SUM_I64),
+        group_size=GROUP_SIZE,
+        sanitize=sanitize,
+    )
+    kwargs.update(overrides)
+    table = CpuHashTable(**kwargs)
+    table.run(batches)
+    return table.result()
+
+
+class _PairsApp:
+    """Minimal Application adapter feeding pre-built batches to the
+    pinned-heap runner (which drives apps, not batch lists)."""
+
+    name = "conformance-pairs"
+
+    def __init__(self, batches):
+        self._batches = batches
+
+    def batches(self, data, chunk_bytes=None):
+        return self._batches
+
+    def make_organization(self):
+        from repro.core.organizations import BasicOrganization
+
+        return BasicOrganization()
+
+
+def _run_pinned(batches, sanitize, fault=None, **overrides):
+    from repro.baselines.pinned import PinnedHashTable
+
+    kwargs = dict(
+        n_buckets=512,
+        group_size=GROUP_SIZE,
+        page_size=4096,
+        heap_bytes=1 << 20,
+        sanitize=sanitize,
+    )
+    kwargs.update(overrides)
+    outcome = PinnedHashTable(**kwargs).run(_PairsApp(batches), b"")
+    return outcome.table.result()
+
+
+def _run_stadium(batches, sanitize, fault=None, **overrides):
+    from repro.baselines.stadium import StadiumHashTable
+    from repro.core.combiners import SUM_I64
+
+    kwargs = dict(n_slots=2048, combiner=SUM_I64, sanitize=sanitize)
+    kwargs.update(overrides)
+    return StadiumHashTable(**kwargs).run(batches).output
+
+
+def _run_sortstore(batches, sanitize, fault=None, **overrides):
+    from repro.baselines.sortstore import SortGroupStore
+    from repro.core.combiners import SUM_I64
+
+    kwargs = dict(combiner=SUM_I64, sanitize=sanitize)
+    kwargs.update(overrides)
+    return SortGroupStore(**kwargs).run(batches).output
+
+
+def _with(runner, **overrides):
+    return lambda batches, sanitize, fault=None: runner(
+        batches, sanitize, fault, **overrides
+    )
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+def _sepo_fault_cases():
+    """Faults every SEPO run must absorb without losing a record."""
+    # deny_batches=1: the basic organization halts passes early under
+    # pressure, so each pass may issue a single insert_batch call -- a
+    # 2-batch denial window would starve two whole passes, which the
+    # driver (correctly) reports as NoProgressError.
+    return (
+        ("pool-exhaustion", lambda: F.PoolExhaustion(after_batches=1, deny_batches=1), None),
+        ("mid-iteration-eviction", lambda: F.MidIterationEviction(at_batch=1), None),
+        ("zero-capacity-start", lambda: F.ZeroCapacityStart(), None),
+    )
+
+
+def _org_basic(impl):
+    def factory():
+        from repro.core.organizations import BasicOrganization
+
+        return BasicOrganization(impl=impl)
+
+    return factory
+
+
+def _org_combining(impl):
+    def factory():
+        from repro.core.combiners import SUM_I64
+        from repro.core.organizations import CombiningOrganization
+
+        return CombiningOrganization(SUM_I64, impl=impl)
+
+    return factory
+
+
+def _org_multivalued(impl):
+    def factory():
+        from repro.core.organizations import MultiValuedOrganization
+
+        return MultiValuedOrganization(impl=impl)
+
+    return factory
+
+
+def _baseline_fault(name, runner_with_tiny_config, expected_exc, **case_kwargs):
+    """Under-provisioned baselines must fail loudly, not drop data.
+
+    ``case_kwargs`` may override the case's ``n``/``batch_size`` (e.g.
+    the sort store needs enough records to overflow its scaled budget).
+    """
+    return (name, None, (runner_with_tiny_config, expected_exc, case_kwargs))
+
+
+def _build_registry() -> tuple[ImplSpec, ...]:
+    from repro.baselines.sortstore import StoreOutOfMemory
+    from repro.baselines.stadium import IndexFull
+
+    specs = []
+    for org_name, mode, org_for in (
+        ("basic", "basic", _org_basic),
+        ("combining", "combining", _org_combining),
+        ("multivalued", "multi-valued", _org_multivalued),
+    ):
+        for impl, label in (("vectorized", "vectorized"), ("slow_reference", "reference")):
+            specs.append(
+                ImplSpec(
+                    name=f"sepo-{org_name}-{label}",
+                    mode=mode,
+                    runner=_run_sepo(org_for(impl)),
+                    fault_cases=_sepo_fault_cases(),
+                )
+            )
+    specs.append(
+        ImplSpec(
+            name="cpu-table",
+            mode="combining",
+            runner=_run_cpu,
+            fault_cases=(
+                _baseline_fault(
+                    "tiny-heap",
+                    _with(_run_cpu, max_heap_bytes=8192, page_size=4096),
+                    MemoryError,
+                ),
+            ),
+        )
+    )
+    specs.append(
+        ImplSpec(
+            name="pinned",
+            mode="basic",
+            runner=_run_pinned,
+            fault_cases=(
+                _baseline_fault(
+                    "tiny-heap",
+                    _with(_run_pinned, heap_bytes=8192, page_size=4096),
+                    MemoryError,
+                ),
+            ),
+        )
+    )
+    specs.append(
+        ImplSpec(
+            name="stadium",
+            mode="combining",
+            runner=_run_stadium,
+            fault_cases=(
+                _baseline_fault(
+                    "tiny-index", _with(_run_stadium, n_slots=64), IndexFull
+                ),
+            ),
+        )
+    )
+    specs.append(
+        ImplSpec(
+            name="sortstore",
+            mode="combining",
+            runner=_run_sortstore,
+            fault_cases=(
+                _baseline_fault(
+                    "tiny-budget",
+                    _with(_run_sortstore, scale=200_000),
+                    StoreOutOfMemory,
+                    n=1500,
+                    batch_size=25,
+                ),
+            ),
+        )
+    )
+    return tuple(specs)
+
+
+IMPLEMENTATIONS: tuple[ImplSpec, ...] = _build_registry()
+
+
+# ----------------------------------------------------------------------
+# comparison
+# ----------------------------------------------------------------------
+def _normalize(result: dict, mode: str) -> dict:
+    """Canonical form: combining -> scalar; others -> sorted value list."""
+    if mode == "combining":
+        return {k: v for k, v in result.items()}
+    return {k: sorted(vs) for k, vs in result.items()}
+
+
+def diff_results(expected: dict, actual: dict, limit: int = 5) -> list[str]:
+    """Human-readable differences between oracle and implementation."""
+    diffs = []
+    for k in expected:
+        if k not in actual:
+            diffs.append(f"missing key {k!r}")
+        elif actual[k] != expected[k]:
+            diffs.append(f"key {k!r}: expected {expected[k]!r}, got {actual[k]!r}")
+        if len(diffs) >= limit:
+            return diffs + ["..."]
+    for k in actual:
+        if k not in expected:
+            diffs.append(f"unexpected key {k!r}")
+            if len(diffs) >= limit:
+                return diffs + ["..."]
+    return diffs
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def run_case(
+    spec: ImplSpec,
+    workload_name: str,
+    n: int = 600,
+    seed: int = 0,
+    sanitize: str = "end",
+    batch_size: int = 150,
+    fault_case=None,
+) -> Outcome:
+    """Run one matrix cell and compare against the dict oracle."""
+    if fault_case is not None and fault_case[2] is not None:
+        n = fault_case[2][2].get("n", n)
+        batch_size = fault_case[2][2].get("batch_size", batch_size)
+    workload = make_workload(workload_name, n, seed)
+    batches = make_batches(workload, spec.mode, batch_size)
+
+    if fault_case is not None:
+        fault_name, make_fault, override = fault_case
+        if override is not None:
+            # A baseline with no retry path: must raise its documented error.
+            tiny_runner, expected_exc, _ = override
+            try:
+                tiny_runner(batches, sanitize)
+            except expected_exc:
+                return Outcome(spec.name, workload_name, fault_name, True)
+            except Exception as exc:  # noqa: BLE001 -- report, don't crash
+                return Outcome(
+                    spec.name, workload_name, fault_name, False,
+                    f"expected {expected_exc.__name__}, got {type(exc).__name__}: {exc}",
+                )
+            return Outcome(
+                spec.name, workload_name, fault_name, False,
+                f"expected {expected_exc.__name__}, but the run completed",
+            )
+        # A SEPO fault: the run must recover AND match the oracle.
+        try:
+            actual = spec.runner(batches, sanitize, make_fault())
+        except Exception as exc:  # noqa: BLE001
+            return Outcome(
+                spec.name, workload_name, fault_name, False,
+                f"did not recover: {type(exc).__name__}: {exc}",
+            )
+        diffs = diff_results(
+            oracle(workload, spec.mode), _normalize(actual, spec.mode)
+        )
+        return Outcome(
+            spec.name, workload_name, fault_name, not diffs, "; ".join(diffs)
+        )
+
+    try:
+        actual = spec.runner(batches, sanitize)
+    except Exception as exc:  # noqa: BLE001
+        return Outcome(
+            spec.name, workload_name, None, False,
+            f"{type(exc).__name__}: {exc}",
+        )
+    diffs = diff_results(oracle(workload, spec.mode), _normalize(actual, spec.mode))
+    return Outcome(spec.name, workload_name, None, not diffs, "; ".join(diffs))
+
+
+def run_matrix(
+    seed: int = 0,
+    n: int = 600,
+    sanitize: str = "end",
+    include_faults: bool = True,
+    impls: tuple[str, ...] | None = None,
+) -> list[Outcome]:
+    """The full conformance sweep: every impl x every workload (+faults)."""
+    outcomes = []
+    for spec in IMPLEMENTATIONS:
+        if impls is not None and spec.name not in impls:
+            continue
+        for workload_name in WORKLOAD_NAMES:
+            outcomes.append(run_case(spec, workload_name, n, seed, sanitize))
+        if include_faults:
+            for fault_case in spec.fault_cases:
+                outcomes.append(
+                    run_case(
+                        spec, "uniform", n, seed, sanitize, fault_case=fault_case
+                    )
+                )
+    return outcomes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the table-implementation conformance matrix."
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--n", type=int, default=600, help="records per workload")
+    parser.add_argument(
+        "--sanitize", default="end", help="sanitizer level for every run"
+    )
+    parser.add_argument(
+        "--no-faults", action="store_true", help="skip fault-injected cases"
+    )
+    args = parser.parse_args(argv)
+
+    outcomes = run_matrix(
+        seed=args.seed,
+        n=args.n,
+        sanitize=args.sanitize,
+        include_faults=not args.no_faults,
+    )
+    failures = [o for o in outcomes if not o.ok]
+    for o in outcomes:
+        print(o)
+    print(
+        f"\n{len(outcomes) - len(failures)}/{len(outcomes)} cells passed "
+        f"(seed={args.seed}, n={args.n}, sanitize={args.sanitize})"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""Deterministic fault injection for SEPO runs.
+
+The postponement/retry machinery only triggers under memory pressure, so a
+generously sized test heap silently skips the paper's most interesting
+paths.  These injectors force those paths deterministically -- no timing,
+no randomness -- by wrapping a live table's pool/insert/eviction hooks:
+
+* :class:`PoolExhaustion` -- every free pool slot vanishes for a window
+  of insert batches, forcing POSTPONE verdicts and SEPO reissues at a
+  chosen point in the stream.
+* :class:`MidIterationEviction` -- a full rearrangement fires *between*
+  batches of one iteration, exercising inserts over evicted chain
+  prefixes and stale-page dropping.
+* :class:`ZeroCapacityStart` -- the run starts with every pool slot held
+  by "another tenant" and gets them back only after the first failed
+  pass, exercising the driver's stuck-pass recovery (one unproductive
+  pass is legal; two raise :class:`~repro.core.sepo.NoProgressError`).
+
+Injectors register deliberately held slots on the heap
+(``fault_reserved_slots``) so the arena sanitizer's slot-leak accounting
+stays exact while a fault is active.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Fault",
+    "PoolExhaustion",
+    "MidIterationEviction",
+    "ZeroCapacityStart",
+]
+
+
+class Fault:
+    """Base class: a deterministic fault installable on a live table."""
+
+    name = "abstract"
+
+    def install(self, table, driver=None) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class PoolExhaustion(Fault):
+    """Exhaust the page pool for a window of ``deny_batches`` insert
+    batches, starting before the ``after_batches``-th one.
+
+    The stash/restore happens at batch boundaries, not inside
+    ``pool.take``: the bulk allocator is entitled to assume that
+    ``pool.n_free`` free slots mean ``n_free`` successful takes (true for
+    the single-threaded simulation), so a fault that lies per-take would
+    break an invariant no real exhaustion can break.
+    """
+
+    name = "pool-exhaustion"
+
+    def __init__(self, after_batches: int = 1, deny_batches: int = 2):
+        if after_batches < 0 or deny_batches <= 0:
+            raise ValueError("need after_batches >= 0 and deny_batches > 0")
+        self.after_batches = after_batches
+        self.deny_batches = deny_batches
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(after={self.after_batches}, "
+            f"deny={self.deny_batches})"
+        )
+
+    def install(self, table, driver=None) -> None:
+        heap = table.heap
+        pool = heap.pool
+        original = table.insert_batch
+        state = {"batch": 0}
+        held: list[int] = []
+
+        def insert_batch(batch, indices=None):
+            i = state["batch"]
+            state["batch"] += 1
+            if i == self.after_batches and not held:
+                while True:
+                    slot = pool.take()
+                    if slot is None:
+                        break
+                    held.append(slot)
+                heap.fault_reserved_slots = set(held)
+            elif i >= self.after_batches + self.deny_batches and held:
+                for slot in held:
+                    pool.release(slot)
+                held.clear()
+                heap.fault_reserved_slots = set()
+            return original(batch, indices)
+
+        table.insert_batch = insert_batch
+
+
+class MidIterationEviction(Fault):
+    """Trigger a full end-of-iteration rearrangement right after the
+    ``at_batch``-th insert_batch call."""
+
+    name = "mid-iteration-eviction"
+
+    def __init__(self, at_batch: int = 1):
+        if at_batch <= 0:
+            raise ValueError("at_batch must be positive")
+        self.at_batch = at_batch
+
+    def describe(self) -> str:
+        return f"{self.name}(at_batch={self.at_batch})"
+
+    def install(self, table, driver=None) -> None:
+        original = table.insert_batch
+        state = {"calls": 0}
+
+        def insert_batch(batch, indices=None):
+            result = original(batch, indices)
+            state["calls"] += 1
+            if state["calls"] == self.at_batch:
+                table.end_iteration()
+            return result
+
+        table.insert_batch = insert_batch
+
+
+class ZeroCapacityStart(Fault):
+    """Start with zero free pool slots; return them after the first
+    end-of-iteration rearrangement."""
+
+    name = "zero-capacity-start"
+
+    def install(self, table, driver=None) -> None:
+        heap = table.heap
+        pool = heap.pool
+        held = []
+        while True:
+            slot = pool.take()
+            if slot is None:
+                break
+            held.append(slot)
+        heap.fault_reserved_slots = set(held)
+
+        original = table.end_iteration
+        state = {"evictions": 0}
+
+        def end_iteration(pcie_bus=None):
+            report = original(pcie_bus)
+            state["evictions"] += 1
+            if state["evictions"] == 1 and held:
+                for slot in held:
+                    pool.release(slot)
+                held.clear()
+                heap.fault_reserved_slots = set()
+            return report
+
+        table.end_iteration = end_iteration

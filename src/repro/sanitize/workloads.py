@@ -1,0 +1,110 @@
+"""Shared workload generators for the conformance harness.
+
+Every implementation in the conformance matrix consumes the same
+deterministic (key, value) streams, built from a seed:
+
+* ``uniform`` -- keys drawn uniformly from a keyspace about the size of
+  the stream (moderate duplication, the common analytics shape),
+* ``zipf`` -- Zipf-skewed key popularity (hot keys, long chains in a few
+  buckets -- the Word-Count shape from Section VI-B),
+* ``all-duplicates`` -- a single key for every record (worst-case chain
+  or combine pressure; one bucket absorbs the whole stream).
+
+Values are small signed integers so the same stream drives both the
+combining method (numeric batches, summed) and the byte-valued methods
+(each value rendered as distinct bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.records import RecordBatch
+from repro.datagen.zipf import zipf_sample
+
+__all__ = ["Workload", "WORKLOADS", "make_workload", "make_batches"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A deterministic stream of (key, value) records."""
+
+    name: str
+    seed: int
+    keys: tuple[bytes, ...]
+    values: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+def _uniform(rng: np.random.Generator, n: int) -> list[bytes]:
+    ids = rng.integers(0, max(1, n), size=n)
+    return [b"u%06d" % i for i in ids]
+
+
+def _zipf(rng: np.random.Generator, n: int) -> list[bytes]:
+    ranks = zipf_sample(rng, n, k=max(16, n // 8), s=1.2)
+    return [b"z%06d" % r for r in ranks]
+
+
+def _all_duplicates(rng: np.random.Generator, n: int) -> list[bytes]:
+    return [b"the-one-key"] * n
+
+
+#: workload name -> key generator
+WORKLOADS = {
+    "uniform": _uniform,
+    "zipf": _zipf,
+    "all-duplicates": _all_duplicates,
+}
+
+
+def make_workload(name: str, n: int, seed: int = 0) -> Workload:
+    if name not in WORKLOADS:
+        raise ValueError(f"unknown workload {name!r}; have {sorted(WORKLOADS)}")
+    rng = np.random.default_rng(seed ^ hash(name) & 0xFFFF)
+    keys = WORKLOADS[name](rng, n)
+    values = rng.integers(-100, 100, size=n).tolist()
+    return Workload(name=name, seed=seed, keys=tuple(keys), values=tuple(values))
+
+
+def value_bytes(v: int) -> bytes:
+    """Byte rendering of a workload value (basic/multi-valued modes)."""
+    return b"v%d" % v
+
+
+def make_batches(
+    workload: Workload, mode: str, batch_size: int = 128
+) -> list[RecordBatch]:
+    """Chunk a workload into record batches for a given table mode."""
+    batches = []
+    for lo in range(0, len(workload), batch_size):
+        keys = list(workload.keys[lo : lo + batch_size])
+        vals = list(workload.values[lo : lo + batch_size])
+        if mode == "combining":
+            batches.append(
+                RecordBatch.from_numeric(keys, np.array(vals, dtype=np.int64))
+            )
+        else:
+            batches.append(
+                RecordBatch.from_pairs(
+                    [(k, value_bytes(v)) for k, v in zip(keys, vals)]
+                )
+            )
+    return batches
+
+
+def oracle(workload: Workload, mode: str) -> dict:
+    """The pure-dict reference result every implementation must match."""
+    if mode == "combining":
+        out: dict[bytes, int] = {}
+        for k, v in zip(workload.keys, workload.values):
+            out[k] = out.get(k, 0) + v
+        return out
+    grouped: dict[bytes, list[bytes]] = {}
+    for k, v in zip(workload.keys, workload.values):
+        grouped.setdefault(k, []).append(value_bytes(v))
+    return {k: sorted(vs) for k, vs in grouped.items()}

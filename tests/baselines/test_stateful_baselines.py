@@ -1,0 +1,164 @@
+"""Stateful property tests: baselines against a dict model, including
+their out-of-memory exception paths (satellite of the sanitizer ISSUE).
+
+Both baselines are one-shot runners, so the machines accumulate batches
+across rules and replay the whole stream through a fresh instance when a
+check rule fires.  The exception branches are *predicted*, not just
+tolerated: IndexFull must fire iff total pairs exceed the index load cap,
+StoreOutOfMemory iff staged bytes exceed the scaled GPU budget.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, rule
+
+from repro.baselines.sortstore import SortGroupStore, StoreOutOfMemory
+from repro.baselines.stadium import IndexFull, StadiumHashTable
+from repro.core import RecordBatch, SUM_I64
+from repro.core.session import GpuSession
+from repro.gpusim.device import GTX_780TI
+
+KEY = st.binary(min_size=1, max_size=8)
+PAIRS = st.lists(
+    st.tuples(KEY, st.integers(-50, 50)), min_size=1, max_size=20
+)
+
+
+def numeric_batch(pairs):
+    return RecordBatch.from_numeric(
+        [k for k, _ in pairs],
+        np.array([v for _, v in pairs], dtype=np.int64),
+    )
+
+
+class StadiumMachine(RuleBasedStateMachine):
+    """Stadium stores duplicates as separate pairs: the model predicts both
+    the combined output and the exact IndexFull boundary."""
+
+    @initialize(n_slots=st.sampled_from([64, 128, 256]))
+    def setup(self, n_slots):
+        self.n_slots = n_slots
+        self.max_load = 0.95
+        self.batches: list[list[tuple[bytes, int]]] = []
+
+    @rule(pairs=PAIRS)
+    def add_batch(self, pairs):
+        self.batches.append(pairs)
+
+    @rule()
+    def replay(self):
+        table = StadiumHashTable(
+            n_slots=self.n_slots,
+            combiner=SUM_I64,
+            max_load=self.max_load,
+            sanitize="paranoid",
+        )
+        batches = [numeric_batch(p) for p in self.batches]
+        cap = int(self.max_load * self.n_slots)
+        total = sum(len(p) for p in self.batches)
+        if total > cap:
+            # no combining: every duplicate occupies its own slot, so the
+            # index must refuse -- silently dropping pairs is the bug
+            try:
+                table.run(batches)
+            except IndexFull:
+                return
+            raise AssertionError(
+                f"{total} pairs in a {cap}-slot budget must raise IndexFull"
+            )
+        result = table.run(batches)
+        model: dict[bytes, int] = {}
+        for pairs in self.batches:
+            for k, v in pairs:
+                model[k] = model.get(k, 0) + v
+        assert result.output == model
+        assert result.stored_pairs == total  # duplicates included
+
+
+class SortStoreMachine(RuleBasedStateMachine):
+    """The sort-based store keeps every duplicate: the model predicts the
+    grouped sums and the exact StoreOutOfMemory boundary from the scaled
+    GPU budget."""
+
+    @initialize(scale=st.sampled_from([1, 200_000, 1_000_000]))
+    def setup(self, scale):
+        self.scale = scale
+        self.chunk_bytes = 1 << 20
+        self.batches: list[list[tuple[bytes, int]]] = []
+        # Replicate the budget computation of SortGroupStore.run exactly:
+        # whatever device memory remains after the session's reservations.
+        session = GpuSession(
+            GTX_780TI, scale,
+            GpuSession.clamp_chunk(GTX_780TI, scale, self.chunk_bytes),
+        )
+        self.budget = session.memory.free
+
+    @rule(pairs=PAIRS)
+    def add_batch(self, pairs):
+        self.batches.append(pairs)
+
+    def _staged_after_each_batch(self):
+        staged = 0
+        out = []
+        for pairs in self.batches:
+            staged += sum(len(k) + 8 for k, _ in pairs)
+            out.append(staged)
+        return out
+
+    @rule()
+    def replay(self):
+        store = SortGroupStore(
+            combiner=SUM_I64,
+            scale=self.scale,
+            chunk_bytes=self.chunk_bytes,
+            sanitize="paranoid",
+        )
+        batches = [numeric_batch(p) for p in self.batches]
+        overflows = any(s > self.budget for s in self._staged_after_each_batch())
+        if overflows:
+            try:
+                store.run(batches)
+            except StoreOutOfMemory as exc:
+                assert "GPU budget" in str(exc)
+                return
+            raise AssertionError(
+                "staged pairs exceed the GPU budget: StoreOutOfMemory expected"
+            )
+        result = store.run(batches)
+        model: dict[bytes, int] = {}
+        for pairs in self.batches:
+            for k, v in pairs:
+                model[k] = model.get(k, 0) + v
+        assert result.output == model
+        assert result.n_pairs == sum(len(p) for p in self.batches)
+
+
+# -- deterministic boundary probes (the machines explore around these) --
+def test_stadium_index_full_at_exact_boundary():
+    import pytest
+
+    cap = int(0.95 * 64)  # 60
+    pairs = [(b"k%03d" % i, 1) for i in range(cap)]
+    table = StadiumHashTable(n_slots=64, combiner=SUM_I64, sanitize="end")
+    assert table.run([numeric_batch(pairs)]).stored_pairs == cap
+    table = StadiumHashTable(n_slots=64, combiner=SUM_I64, sanitize="end")
+    with pytest.raises(IndexFull, match="duplicates are stored separately"):
+        table.run([numeric_batch(pairs + [(b"one-more", 1)])])
+
+
+def test_sortstore_oom_at_scaled_budget():
+    import pytest
+
+    store = SortGroupStore(combiner=SUM_I64, scale=1_000_000, sanitize="end")
+    pairs = [(b"k%04d" % i, 1) for i in range(60)]
+    with pytest.raises(StoreOutOfMemory, match="GPU budget"):
+        store.run([numeric_batch(pairs) for _ in range(5)])
+
+
+STATEFUL = settings(max_examples=15, stateful_step_count=10, deadline=None)
+
+TestStadiumMachine = StadiumMachine.TestCase
+TestStadiumMachine.settings = STATEFUL
+TestSortStoreMachine = SortStoreMachine.TestCase
+TestSortStoreMachine.settings = STATEFUL

@@ -1,0 +1,116 @@
+"""Deterministic fault injection: each fault forces its SEPO path and the
+run still completes with oracle-identical output."""
+
+import pytest
+
+from repro.core import CombiningOrganization, GpuHashTable, SUM_I64
+from repro.core.sepo import SepoDriver
+from repro.gpusim.clock import CostLedger
+from repro.gpusim.device import GTX_780TI
+from repro.gpusim.kernel import KernelModel
+from repro.gpusim.pcie import PCIeBus
+from repro.memalloc import GpuHeap
+from repro.sanitize import MidIterationEviction, PoolExhaustion, ZeroCapacityStart
+from repro.sanitize.workloads import make_batches, make_workload, oracle
+
+PAGE_SIZE = 512
+HEAP_PAGES = 12
+
+
+def build(sanitize="end"):
+    ledger = CostLedger()
+    table = GpuHashTable(
+        n_buckets=64,
+        organization=CombiningOrganization(SUM_I64),
+        heap=GpuHeap(HEAP_PAGES * PAGE_SIZE, PAGE_SIZE),
+        group_size=16,
+        ledger=ledger,
+        sanitize=sanitize,
+    )
+    driver = SepoDriver(
+        table, KernelModel(GTX_780TI, ledger), PCIeBus(ledger),
+        max_iterations=500,
+    )
+    return table, driver
+
+
+def run_with(fault, n=300, seed=7):
+    workload = make_workload("uniform", n, seed)
+    batches = make_batches(workload, "combining", batch_size=100)
+    table, driver = build()
+    if fault is not None:
+        fault.install(table, driver)
+    report = driver.run(batches)
+    return table, report, oracle(workload, "combining")
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        PoolExhaustion(after_batches=-1)
+    with pytest.raises(ValueError):
+        PoolExhaustion(deny_batches=0)
+    with pytest.raises(ValueError):
+        MidIterationEviction(at_batch=0)
+
+
+def test_pool_exhaustion_forces_postponement_and_recovers():
+    table, report, expected = run_with(
+        PoolExhaustion(after_batches=1, deny_batches=1)
+    )
+    assert table.result() == expected
+    assert report.postponement_rate > 0.0
+    # the fault window ended: no slots stay hostage
+    assert getattr(table.heap, "fault_reserved_slots", set()) == set()
+
+
+def test_pool_exhaustion_is_deterministic():
+    _, r1, _ = run_with(PoolExhaustion(after_batches=1, deny_batches=1))
+    _, r2, _ = run_with(PoolExhaustion(after_batches=1, deny_batches=1))
+    assert r1.iterations == r2.iterations
+    assert [(i.attempted, i.succeeded, i.postponed) for i in r1.iteration_log] \
+        == [(i.attempted, i.succeeded, i.postponed) for i in r2.iteration_log]
+
+
+def test_pool_exhaustion_changes_the_run():
+    _, clean, _ = run_with(None)
+    _, faulted, _ = run_with(PoolExhaustion(after_batches=1, deny_batches=1))
+    assert faulted.postponement_rate >= clean.postponement_rate
+    assert faulted.iterations >= clean.iterations
+
+
+def test_mid_iteration_eviction_recovers():
+    fault = MidIterationEviction(at_batch=1)
+    table, report, expected = run_with(fault)
+    assert table.result() == expected
+    # the forced rearrangement is visible: more evictions than driver
+    # iterations (the driver triggers exactly one per pass)
+    assert table.iterations_completed > report.iterations
+
+
+def test_zero_capacity_start_recovers_after_one_stuck_pass():
+    fault = ZeroCapacityStart()
+    table, report, expected = run_with(fault)
+    assert table.result() == expected
+    # the first pass could not insert a single record...
+    assert report.iteration_log[0].succeeded == 0
+    assert report.iteration_log[0].postponed == report.iteration_log[0].attempted
+    # ...and the driver recovered instead of raising NoProgressError
+    assert report.iterations >= 2
+    assert sum(i.succeeded for i in report.iteration_log) == report.total_records
+    assert getattr(table.heap, "fault_reserved_slots", set()) == set()
+
+
+def test_zero_capacity_start_registers_held_slots():
+    table, driver = build()
+    fault = ZeroCapacityStart()
+    fault.install(table, driver)
+    assert table.heap.pool.n_free == 0
+    assert len(table.heap.fault_reserved_slots) == HEAP_PAGES
+    # the sanitizer accepts the registered hostage slots
+    table.check_invariants()
+
+
+def test_faults_describe_themselves():
+    assert "pool-exhaustion" in PoolExhaustion().describe()
+    assert "mid-iteration-eviction" in MidIterationEviction().describe()
+    assert "zero-capacity-start" in ZeroCapacityStart().describe()

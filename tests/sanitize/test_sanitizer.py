@@ -1,0 +1,159 @@
+"""The arena sanitizer on healthy tables: no false positives, knob wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BasicOrganization,
+    CombiningOrganization,
+    GpuHashTable,
+    MultiValuedOrganization,
+    RecordBatch,
+    SUM_I64,
+)
+from repro.memalloc import GpuHeap
+from repro.sanitize import (
+    ENV_VAR,
+    LEVELS,
+    SanitizerError,
+    check_heap,
+    check_table,
+    resolve_level,
+    should_check,
+)
+
+
+def make_table(org, sanitize=None, heap_bytes=4096, page_size=512):
+    heap = GpuHeap(heap_bytes, page_size)
+    return GpuHashTable(
+        n_buckets=64, organization=org, heap=heap, group_size=16,
+        sanitize=sanitize,
+    )
+
+
+def numeric_batch(pairs):
+    return RecordBatch.from_numeric(
+        [k for k, _ in pairs],
+        np.array([v for _, v in pairs], dtype=np.int64),
+    )
+
+
+def byte_batch(pairs):
+    return RecordBatch.from_pairs(pairs)
+
+
+PAIRS = [(b"k%02d" % (i % 17), i) for i in range(60)]
+BYTE_PAIRS = [(k, b"v%d" % v) for k, v in PAIRS]
+
+
+def fill(table, pairs, numeric):
+    """Insert to completion, evicting between passes (the SEPO contract)."""
+    make = numeric_batch if numeric else byte_batch
+    pending = list(pairs)
+    for _ in range(50):
+        if not pending:
+            return
+        batch = make(pending)
+        result = table.insert_batch(batch)
+        pending = [p for p, ok in zip(pending, result.success) if not ok]
+        if pending:
+            table.end_iteration()
+    raise AssertionError("could not complete inserts")
+
+
+# ----------------------------------------------------------------------
+# knob plumbing
+# ----------------------------------------------------------------------
+def test_resolve_level_validates():
+    assert resolve_level(None) == "off"
+    assert resolve_level("paranoid") == "paranoid"
+    with pytest.raises(ValueError, match="sanitize level"):
+        resolve_level("sometimes")
+
+
+def test_resolve_level_env_override(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "iteration")
+    assert resolve_level(None) == "iteration"
+    # an explicit knob wins over the environment
+    assert resolve_level("off") == "off"
+    monkeypatch.setenv(ENV_VAR, "bogus")
+    with pytest.raises(ValueError):
+        resolve_level(None)
+
+
+def test_should_check_ranks():
+    assert not any(should_check("off", p) for p in ("end", "iteration", "batch"))
+    assert should_check("end", "end")
+    assert not should_check("end", "iteration")
+    assert should_check("iteration", "iteration")
+    assert not should_check("iteration", "batch")
+    assert all(should_check("paranoid", p) for p in ("end", "iteration", "batch"))
+
+
+def test_table_ctor_rejects_bad_level():
+    with pytest.raises(ValueError):
+        make_table(CombiningOrganization(SUM_I64), sanitize="always")
+
+
+# ----------------------------------------------------------------------
+# no false positives on healthy structures
+# ----------------------------------------------------------------------
+def test_fresh_heap_is_clean():
+    report = check_heap(GpuHeap(4096, 512))
+    assert report.ok
+
+
+@pytest.mark.parametrize(
+    "org,numeric",
+    [
+        (BasicOrganization(), False),
+        (CombiningOrganization(SUM_I64), True),
+        (MultiValuedOrganization(), False),
+    ],
+    ids=["basic", "combining", "multivalued"],
+)
+def test_clean_table_passes_all_stages(org, numeric):
+    table = make_table(org)
+    fill(table, PAIRS if numeric else BYTE_PAIRS, numeric)
+    report = check_table(table)
+    assert report.ok
+    assert report.n_entries > 0
+    assert report.reachable_bytes > 0
+    # after an eviction (dual-pointer handoff) the table must still verify
+    table.end_iteration()
+    assert check_table(table).ok
+
+
+def test_census_counts_value_nodes():
+    table = make_table(MultiValuedOrganization())
+    fill(table, BYTE_PAIRS, numeric=False)
+    report = check_table(table)
+    assert report.n_value_nodes == len(BYTE_PAIRS)
+
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_hooks_clean_at_every_level(level):
+    table = make_table(CombiningOrganization(SUM_I64), sanitize=level)
+    fill(table, PAIRS, numeric=True)
+    table.sanitize_check("end")  # must not raise on a healthy table
+    assert table.result() == {
+        k: sum(v for kk, v in PAIRS if kk == k) for k, _ in PAIRS
+    }
+
+
+def test_paranoid_checks_every_batch():
+    # basic organization: reachable entries must equal total_inserted exactly
+    table = make_table(BasicOrganization(), sanitize="paranoid")
+    table.insert_batch(byte_batch(BYTE_PAIRS[:10]))
+    # corrupt after the batch: the *next* batch's hook must trip
+    table.total_inserted += 5
+    with pytest.raises(SanitizerError):
+        table.insert_batch(byte_batch(BYTE_PAIRS[10:20]))
+
+
+def test_off_never_checks():
+    table = make_table(BasicOrganization(), sanitize="off")
+    table.insert_batch(byte_batch(BYTE_PAIRS[:10]))
+    table.total_inserted += 5  # corrupt -- but the knob is off
+    table.sanitize_check("end")
+    table.end_iteration()
