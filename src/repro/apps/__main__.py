@@ -68,7 +68,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the reference-implementation check")
     parser.add_argument("--timeline", action="store_true",
                         help="print the per-iteration SEPO timeline (gpu)")
+    parser.add_argument("--sanitize", choices=["off", "cheap", "paranoid"],
+                        default=None,
+                        help="sanitizer level (default: REPRO_SANITIZE)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="journal checkpoints to PATH (enables "
+                             "crash-recoverable execution; gpu only)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from an existing --journal file")
+    parser.add_argument("--checkpoint-every", type=int, default=1,
+                        metavar="N", help="checkpoint every N SEPO "
+                        "iterations (default 1)")
     args = parser.parse_args(argv)
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal")
 
     app = APPS[args.app]()
     data = app.generate_input(args.size, seed=args.seed)
@@ -77,7 +90,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.device == "gpu":
         outcome = app.run_gpu(data, scale=args.scale, n_buckets=args.buckets,
-                              page_size=4096)
+                              page_size=4096, sanitize=args.sanitize,
+                              journal=args.journal, resume=args.resume,
+                              checkpoint_every=args.checkpoint_every)
     elif args.device == "cpu":
         outcome = app.run_cpu(data, n_buckets=args.buckets)
     else:
@@ -96,6 +111,16 @@ def main(argv: list[str] | None = None) -> int:
             sorted(spent.items(), key=lambda kv: -kv[1])
         )
         print(f"time breakdown  : {parts}")
+
+    res = getattr(outcome, "resilience", None)
+    if res is not None:
+        resumed = (f"resumed at iteration {res.resumed_from_iteration}"
+                   if res.resumed_from_iteration is not None else "fresh run")
+        print(f"resilience      : {res.checkpoints_written} checkpoint(s), "
+              f"{resumed}, {res.retries} transfer retries")
+        for ev in res.degradation_events:
+            detail = f" ({ev.detail})" if ev.detail else ""
+            print(f"  degraded @ iter {ev.iteration}: {ev.action}{detail}")
 
     if args.timeline and args.device == "gpu":
         from repro.bench.timeline import render_timeline

@@ -41,9 +41,11 @@ class RunOutcome:
     device: str
     elapsed_seconds: float
     iterations: int
-    table: Any  # GpuHashTable | CpuHashTable
+    table: Any  # GpuHashTable | CpuHashTable | DegradedTable
     report: Any = None  # SepoReport | CpuRunReport
     breakdown: dict[str, float] | None = None
+    #: resilience telemetry when the run was journaled (see repro.resilience)
+    resilience: Any = None  # ResilientReport | None
 
     def output(self) -> dict[bytes, Any]:
         t = self.table
@@ -121,11 +123,20 @@ class Application:
         trace=None,
         batches: list[RecordBatch] | None = None,
         backend: str = "analytic",
+        sanitize: str | None = None,
+        journal=None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        degrade: bool = True,
     ) -> RunOutcome:
         """Run under SEPO on the (scaled) simulated GPU.
 
         ``batches`` lets callers reuse pre-parsed input (the parse cost is
-        charged per pass by the cost model either way).
+        charged per pass by the cost model either way).  Passing a
+        ``journal`` path makes the run crash-recoverable: the driver is
+        wrapped in :class:`~repro.resilience.ResilientDriver`, checkpoints
+        every ``checkpoint_every`` iterations, and with ``resume=True``
+        picks up an existing journal instead of starting over.
         """
         chunk = GpuSession.clamp_chunk(
             device, scale, chunk_bytes or self.chunk_bytes
@@ -146,8 +157,23 @@ class Application:
             page_size=page_size,
             n_records=n_records,
             trace=trace,
+            sanitize=sanitize,
         )
-        report = driver.run(batches)
+        resilient_report = None
+        if journal is not None:
+            from repro.resilience import ResilientDriver
+
+            resilient = ResilientDriver(
+                driver,
+                journal_path=journal,
+                checkpoint_every=checkpoint_every,
+                degrade=degrade,
+            )
+            resilient_report = resilient.run(batches, resume=resume)
+            report = resilient_report.sepo
+            table = resilient_report.table
+        else:
+            report = driver.run(batches)
         return RunOutcome(
             app=self.name,
             device=session.device.name,
@@ -156,6 +182,26 @@ class Application:
             table=table,
             report=report,
             breakdown=report.breakdown,
+            resilience=resilient_report,
+        )
+
+    def run_resumable(
+        self,
+        data: bytes,
+        journal,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        degrade: bool = True,
+        **kwargs,
+    ) -> RunOutcome:
+        """Crash-recoverable :meth:`run_gpu` (journal path is mandatory)."""
+        return self.run_gpu(
+            data,
+            journal=journal,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            degrade=degrade,
+            **kwargs,
         )
 
     def run_cpu(

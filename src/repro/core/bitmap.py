@@ -62,6 +62,21 @@ class PendingBitmap:
             raise ValueError(f"range [{start}, {stop}) out of bounds")
         return start + np.flatnonzero(self._pending[start:stop])
 
+    # ------------------------------------------------------------------
+    def snapshot(self) -> np.ndarray:
+        """An owned copy of the pending mask (for journaling)."""
+        return self._pending.copy()
+
+    def restore(self, mask: np.ndarray) -> None:
+        """Overwrite the pending mask from a journal snapshot."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n_records,):
+            raise ValueError(
+                f"snapshot covers {mask.size} records, bitmap has "
+                f"{self.n_records}"
+            )
+        self._pending[:] = mask
+
     def _check(self, indices: np.ndarray) -> None:
         if len(indices) == 0:
             return

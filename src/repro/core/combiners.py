@@ -85,8 +85,10 @@ def MinCombiner(scalar: str = "i64") -> Combiner:
     return Combiner("min", scalar, min)
 
 
-def BitOrCombiner() -> Combiner:
-    return Combiner("bitor", "u64", lambda a, b: a | b)
+def BitOrCombiner(scalar: str = "u64") -> Combiner:
+    if scalar == "f64":
+        raise ValueError("bitwise-or is undefined for f64 scalars")
+    return Combiner("bitor", scalar, lambda a, b: a | b)
 
 
 def CallbackCombiner(

@@ -34,6 +34,7 @@ __all__ = [
     "Status",
     "postponement_profitable",
     "IterationRecord",
+    "RunState",
     "SepoReport",
     "SepoDriver",
     "NoProgressError",
@@ -98,6 +99,28 @@ class IterationRecord:
 
 
 @dataclass
+class RunState:
+    """Mutable requestor-side state of an in-flight SEPO run.
+
+    Everything the iteration loop carries between passes lives here (rather
+    than in local variables) so that a resilient driver can journal it at a
+    checkpoint and restore it on resume.  ``starts``/``total`` are derived
+    from the batches and recomputed at resume; the rest is genuine state.
+    """
+
+    bitmap: PendingBitmap
+    starts: np.ndarray
+    total: int
+    log: list[IterationRecord] = field(default_factory=list)
+    streamed: int = 0
+    iteration: int = 0
+    stuck_passes: int = 0
+    #: chunks whose BatchCache has been released (hashes, bucket ids and
+    #: byte materializations are only worth keeping while reissues loom)
+    released: list[bool] = field(default_factory=list)
+
+
+@dataclass
 class SepoReport:
     """Result of a complete SEPO run."""
 
@@ -137,82 +160,115 @@ class SepoDriver:
         self.pipeline = pipeline if pipeline is not None else BigKernelPipeline(bus)
         self.max_iterations = max_iterations
 
-    def run(self, batches: Sequence[RecordBatch]) -> SepoReport:
-        """Process every record of every batch to completion."""
-        ledger = self.table.ledger
+    # ------------------------------------------------------------------
+    # resumable building blocks (the resilient driver drives these too)
+    # ------------------------------------------------------------------
+    def begin(self, batches: Sequence[RecordBatch]) -> RunState:
+        """Fresh run state over ``batches`` (everything pending)."""
         starts = np.cumsum([0] + [len(b) for b in batches])
         total = int(starts[-1])
-        bitmap = PendingBitmap(total)
-        log: list[IterationRecord] = []
-        streamed = 0
+        return RunState(
+            bitmap=PendingBitmap(total),
+            starts=starts,
+            total=total,
+            released=[False] * len(batches),
+        )
 
-        iteration = 0
-        stuck_passes = 0
-        #: chunks whose BatchCache has been released (hashes, bucket ids and
-        #: byte materializations are only worth keeping while reissues loom)
-        released = [False] * len(batches)
-        while bitmap.any_pending():
-            iteration += 1
-            if iteration > self.max_iterations:
-                raise NoProgressError(
-                    f"exceeded {self.max_iterations} SEPO iterations"
-                )
-            rec = IterationRecord(index=iteration)
-            self.pipeline.begin_pass()
-            for ci, (batch, start) in enumerate(zip(batches, starts)):
-                pending = bitmap.pending_in(int(start), int(start) + len(batch))
-                if pending.size == 0:
-                    # fully processed chunk: not re-streamed, cache released
-                    if not released[ci]:
-                        batch.invalidate_cache()
-                        released[ci] = True
-                    continue
-                local = pending - int(start)
-                before = ledger.elapsed
-                result = self.table.insert_batch(batch, local)
-                self.kernel.charge(result.stats)
-                kernel_seconds = ledger.elapsed - before
-                self.pipeline.account(batch.input_bytes, kernel_seconds)
-                streamed += batch.input_bytes
-                bitmap.mark_done(pending[result.success])
-                rec.attempted += len(pending)
-                rec.succeeded += result.n_success
-                rec.postponed += result.n_postponed
-                if self.table.should_halt():
-                    rec.halted_early = True
-                    break
-            if rec.succeeded == 0 and rec.attempted > 0:
-                # One stuck pass is recoverable: the end-of-iteration
-                # rearrangement (including the multi-valued deadlock
-                # fallback) frees pages.  Two in a row means the heap truly
-                # cannot host a single entry.
-                stuck_passes += 1
-                if stuck_passes >= 2:
-                    raise NoProgressError(
-                        "two consecutive SEPO passes made no progress; the "
-                        "heap cannot host the working set"
-                    )
-            else:
-                stuck_passes = 0
-            report = self.table.end_iteration(self.bus)
-            rec.evicted_bytes = report.bytes_evicted
-            rec.pages_retained = report.pages_retained
-            log.append(rec)
+    def run_pass(
+        self,
+        batches: Sequence[RecordBatch],
+        state: RunState,
+        limit: int | None = None,
+    ) -> IterationRecord:
+        """One pass over every still-pending record (no rearrangement).
 
+        ``limit`` caps the pending records attempted per batch -- the
+        graceful-degradation "chunk shrinking" rung, which bounds the
+        per-pass allocation burst on a starved heap.
+        """
+        ledger = self.table.ledger
+        rec = IterationRecord(index=state.iteration)
+        self.pipeline.begin_pass()
+        for ci, (batch, start) in enumerate(zip(batches, state.starts)):
+            pending = state.bitmap.pending_in(int(start), int(start) + len(batch))
+            if pending.size == 0:
+                # fully processed chunk: not re-streamed, cache released
+                if not state.released[ci]:
+                    batch.invalidate_cache()
+                    state.released[ci] = True
+                continue
+            if limit is not None and pending.size > limit:
+                pending = pending[:limit]
+            local = pending - int(start)
+            before = ledger.elapsed
+            result = self.table.insert_batch(batch, local)
+            self.kernel.charge(result.stats)
+            kernel_seconds = ledger.elapsed - before
+            self.pipeline.account(batch.input_bytes, kernel_seconds)
+            state.streamed += batch.input_bytes
+            state.bitmap.mark_done(pending[result.success])
+            rec.attempted += len(pending)
+            rec.succeeded += result.n_success
+            rec.postponed += result.n_postponed
+            if self.table.should_halt():
+                rec.halted_early = True
+                break
+        return rec
+
+    def finish_iteration(self, state: RunState, rec: IterationRecord):
+        """Figure-5 rearrangement + telemetry; returns the eviction report."""
+        report = self.table.end_iteration(self.bus)
+        rec.evicted_bytes = report.bytes_evicted
+        rec.pages_retained = report.pages_retained
+        state.log.append(rec)
+        return report
+
+    def finalize(
+        self, batches: Sequence[RecordBatch], state: RunState
+    ) -> SepoReport:
+        """Release caches, run the end sanitize pass, build the report."""
         for ci, batch in enumerate(batches):
-            if not released[ci]:
+            if not state.released[ci]:
                 batch.invalidate_cache()
 
         # sanitize="end": one full invariant pass over the finished table
         # (iteration/paranoid levels have already checked along the way).
         self.table.sanitize_check("end")
 
+        ledger = self.table.ledger
         return SepoReport(
-            iterations=iteration,
-            total_records=total,
+            iterations=state.iteration,
+            total_records=state.total,
             elapsed_seconds=ledger.elapsed,
             breakdown=ledger.breakdown(),
-            iteration_log=log,
-            input_bytes_streamed=streamed,
+            iteration_log=state.log,
+            input_bytes_streamed=state.streamed,
             table_bytes=self.table.heap.total_table_bytes,
         )
+
+    # ------------------------------------------------------------------
+    def run(self, batches: Sequence[RecordBatch]) -> SepoReport:
+        """Process every record of every batch to completion."""
+        state = self.begin(batches)
+        while state.bitmap.any_pending():
+            state.iteration += 1
+            if state.iteration > self.max_iterations:
+                raise NoProgressError(
+                    f"exceeded {self.max_iterations} SEPO iterations"
+                )
+            rec = self.run_pass(batches, state)
+            if rec.succeeded == 0 and rec.attempted > 0:
+                # One stuck pass is recoverable: the end-of-iteration
+                # rearrangement (including the multi-valued deadlock
+                # fallback) frees pages.  Two in a row means the heap truly
+                # cannot host a single entry.
+                state.stuck_passes += 1
+                if state.stuck_passes >= 2:
+                    raise NoProgressError(
+                        "two consecutive SEPO passes made no progress; the "
+                        "heap cannot host the working set"
+                    )
+            else:
+                state.stuck_passes = 0
+            self.finish_iteration(state, rec)
+        return self.finalize(batches, state)

@@ -78,6 +78,7 @@ class GpuSession:
         page_size: int = 16 << 10,
         n_records: int = 0,
         trace=None,
+        sanitize: str | None = None,
     ) -> tuple[GpuHashTable, SepoDriver]:
         """Lay out device memory and wire a table + SEPO driver.
 
@@ -95,6 +96,7 @@ class GpuSession:
             group_size=group_size,
             ledger=self.ledger,
             trace=trace,
+            sanitize=sanitize,
         )
         table.maintenance_throughput = self.device.compute_throughput
         driver = SepoDriver(table, self.kernel, self.bus, self.pipeline)

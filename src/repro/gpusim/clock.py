@@ -23,6 +23,7 @@ class CostCategory(str, Enum):
     LAUNCH = "launch"  # kernel launch / thread spawn overhead
     MAINTENANCE = "maintenance"  # SEPO bookkeeping (chain splicing, bitmaps)
     HOST = "host"  # CPU-side sequential work (partitioning, finalize)
+    RETRY = "retry"  # failed PCIe attempts + backoff (resilience layer)
 
 
 class CostLedger:

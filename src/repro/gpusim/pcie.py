@@ -16,10 +16,21 @@ than few-bulky ones at equal byte volume.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.gpusim.clock import CostCategory, CostLedger
 
-__all__ = ["PCIeLinkSpec", "PCIE_GEN3_X16", "PCIeBus"]
+__all__ = ["PCIeLinkSpec", "PCIE_GEN3_X16", "PCIeBus", "TransferError"]
+
+
+class TransferError(RuntimeError):
+    """A DMA transfer kept failing past the bus's retry budget.
+
+    Transient link faults (simulated by
+    :class:`~repro.sanitize.faults.TransientTransferFault`) are retried with
+    exponential backoff; only a *persistent* fault -- one that outlives
+    ``max_retries`` attempts -- surfaces as this error.
+    """
 
 
 @dataclass(frozen=True)
@@ -60,11 +71,71 @@ class PCIeBus:
     volume separately from time.
     """
 
-    def __init__(self, ledger: CostLedger, spec: PCIeLinkSpec = PCIE_GEN3_X16):
+    def __init__(
+        self,
+        ledger: CostLedger,
+        spec: PCIeLinkSpec = PCIE_GEN3_X16,
+        max_retries: int = 8,
+        retry_backoff: float = 10e-6,
+    ):
         self.ledger = ledger
         self.spec = spec
         self.bytes_moved = 0
         self.transactions = 0
+        #: retry budget per DMA operation before :class:`TransferError`
+        self.max_retries = max_retries
+        #: base backoff, seconds; attempt ``k`` waits ``retry_backoff << k``
+        self.retry_backoff = retry_backoff
+        #: DMA operations issued (bulk / small / overlapped), fault-injector
+        #: op index space
+        self.transfer_ops = 0
+        #: failed attempts retried across the whole run
+        self.retries = 0
+        #: simulated seconds burned in failed attempts + backoff
+        self.retry_seconds = 0.0
+        self._fault_injector: Callable[[int, int], bool] | None = None
+
+    def set_fault_injector(
+        self, injector: Callable[[int, int], bool] | None
+    ) -> None:
+        """Install a transfer-fault predicate ``(op_index, attempt) -> bool``.
+
+        Called once per attempt of every DMA operation; returning True makes
+        that attempt fail (the bus then backs off and retries).  ``None``
+        uninstalls.  This is the hook
+        :class:`~repro.sanitize.faults.TransientTransferFault` uses.
+        """
+        self._fault_injector = injector
+
+    def _settle(self, nbytes: int, transactions: int) -> float:
+        """Run one DMA operation through the fault/retry loop.
+
+        Returns the successful attempt's transfer time.  Every failed
+        attempt is charged to :data:`CostCategory.RETRY` -- the full wire
+        time of the aborted attempt plus exponential backoff -- so recovery
+        overhead is visible in the simulated-clock breakdown rather than
+        silently folded into PCIE.  Retried time is never hidden by
+        pipelining: a fault aborts the overlap window too.
+        """
+        t = self.transfer_time(nbytes, transactions)
+        op = self.transfer_ops
+        self.transfer_ops += 1
+        if self._fault_injector is None:
+            return t
+        attempt = 0
+        while self._fault_injector(op, attempt):
+            wasted = t + self.retry_backoff * (1 << attempt)
+            self.ledger.charge(CostCategory.RETRY, wasted)
+            self.retry_seconds += wasted
+            self.retries += 1
+            attempt += 1
+            if attempt > self.max_retries:
+                raise TransferError(
+                    f"DMA op {op} failed {attempt} times "
+                    f"({nbytes} bytes, {transactions} transactions); "
+                    f"retry budget is {self.max_retries}"
+                )
+        return t
 
     # ------------------------------------------------------------------
     def transfer_time(self, nbytes: int, transactions: int = 1) -> float:
@@ -118,7 +189,7 @@ class PCIeBus:
         """A bulk transfer partially hidden behind ``hidden_seconds`` of
         compute (BigKernel pipelining); only the exposed time is charged.
         Returns the exposed seconds."""
-        t = self.transfer_time(nbytes, 1)
+        t = self._settle(nbytes, 1)
         exposed = max(0.0, t - hidden_seconds)
         self.bytes_moved += max(nbytes, self.spec.min_payload)
         self.transactions += 1
@@ -126,7 +197,7 @@ class PCIeBus:
         return exposed
 
     def _charge(self, nbytes: int, transactions: int) -> float:
-        t = self.transfer_time(nbytes, transactions)
+        t = self._settle(nbytes, transactions)
         self.bytes_moved += max(nbytes, transactions * self.spec.min_payload)
         self.transactions += transactions
         self.ledger.charge(CostCategory.PCIE, t)

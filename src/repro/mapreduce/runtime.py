@@ -36,7 +36,9 @@ class MapReduceResult:
     """A finished job: SEPO telemetry plus access to the output table."""
 
     report: SepoReport
-    table: GpuHashTable
+    table: Any  # GpuHashTable | repro.resilience.DegradedTable
+    #: resilience telemetry when the job ran via :meth:`run_resumable`
+    resilience: Any = None  # repro.resilience.ResilientReport | None
 
     @property
     def elapsed_seconds(self) -> float:
@@ -58,6 +60,7 @@ class MapReduceRuntime:
         n_buckets: int = 1 << 16,
         group_size: int = 64,
         page_size: int = 16 << 10,
+        sanitize: str | None = None,
     ):
         self.job = job
         self.device = device
@@ -65,14 +68,15 @@ class MapReduceRuntime:
         self.n_buckets = n_buckets
         self.group_size = group_size
         self.page_size = page_size
+        #: sanitize level forwarded to the table (None = REPRO_SANITIZE)
+        self.sanitize = sanitize
 
     def _organization(self):
         if self.job.mode is Mode.MAP_REDUCE:
             return CombiningOrganization(self.job.combiner)
         return MultiValuedOrganization()
 
-    def run(self, data: bytes) -> MapReduceResult:
-        """Execute the job over ``data`` to completion."""
+    def _prepare(self, data: bytes):
         chunk_bytes = GpuSession.clamp_chunk(
             self.device, self.scale, self.job.chunk_bytes
         )
@@ -90,6 +94,43 @@ class MapReduceRuntime:
             group_size=self.group_size,
             page_size=self.page_size,
             n_records=n_records,
+            sanitize=self.sanitize,
         )
+        return batches, table, driver
+
+    def run(self, data: bytes) -> MapReduceResult:
+        """Execute the job over ``data`` to completion."""
+        batches, table, driver = self._prepare(data)
         report = driver.run(batches)
         return MapReduceResult(report=report, table=table)
+
+    def run_resumable(
+        self,
+        data: bytes,
+        journal_path,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        degrade: bool = True,
+    ) -> MapReduceResult:
+        """Execute the job crash-recoverably (see :mod:`repro.resilience`).
+
+        Checkpoints are journaled to ``journal_path`` every
+        ``checkpoint_every`` iterations; ``resume=True`` replays an
+        existing journal (and starts fresh when there is none, so a
+        supervisor can always pass it).  ``degrade=False`` keeps the
+        stock fail-fast :class:`~repro.core.sepo.NoProgressError`
+        behaviour instead of the degradation ladder.
+        """
+        from repro.resilience import ResilientDriver
+
+        batches, table, driver = self._prepare(data)
+        resilient = ResilientDriver(
+            driver,
+            journal_path=journal_path,
+            checkpoint_every=checkpoint_every,
+            degrade=degrade,
+        )
+        rep = resilient.run(batches, resume=resume)
+        return MapReduceResult(
+            report=rep.sepo, table=rep.table, resilience=rep
+        )

@@ -92,10 +92,20 @@ class PagePool:
         return self.n_slots - self.n_free
 
     def take(self) -> int | None:
-        """Pop a free slot, or None if the pool is exhausted."""
+        """Pop a free slot (zeroed), or None if the pool is exhausted.
+
+        Zeroing makes page bytes canonical: without it, recycled slots
+        leak a previous tenant's bytes into the new page's padding and
+        post-watermark region, and a checkpoint/resume cycle (which starts
+        from a fresh arena) could never be byte-identical to the
+        uninterrupted run it must reproduce.
+        """
         if not self._free_slots:
             return None
-        return self._free_slots.pop()
+        slot = self._free_slots.pop()
+        start = slot * self.page_size
+        self.arena[start : start + self.page_size] = 0
+        return slot
 
     def release(self, slot: int) -> None:
         """Return a slot to the pool (its bytes are considered garbage)."""

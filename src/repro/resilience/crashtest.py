@@ -1,0 +1,257 @@
+"""SIGKILL-and-resume conformance harness (``python -m repro.resilience.crashtest``).
+
+The parent process runs three seeded fault schedules against the
+WordCount application.  For each schedule it:
+
+1. computes an *uninterrupted oracle* in-process -- a
+   :class:`~repro.resilience.ResilientDriver` run with the schedule's
+   ``checkpoint_every`` (checkpointing quiesces the table, so the oracle
+   must checkpoint on the same cadence as the victim);
+2. spawns a child that runs the same job journaled, and ``SIGKILL``\\ s
+   itself mid-iteration -- a configurable number of ``insert_batch``
+   calls after the Nth checkpoint lands, so the journal is guaranteed to
+   exist and the death is guaranteed to be mid-pass;
+3. spawns a second child that resumes from the journal and prints its
+   final table digest, result checksum, and simulated clock;
+4. asserts the resumed run is byte-identical to the oracle (table
+   digest), value-identical to the pure-Python dict oracle
+   (``app.reference``), and clock-identical to the uninterrupted run.
+
+Children run under ``REPRO_SANITIZE=paranoid`` so every structural
+invariant is re-checked after restore.  A final in-process phase injects
+a :class:`~repro.sanitize.TransientTransferFault` schedule and asserts
+the run completes with the retry time visible in the simulated-clock
+breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import zlib
+
+from repro.apps.wordcount import WordCount
+from repro.core.session import GpuSession
+from repro.gpusim.device import GTX_780TI
+from repro.resilience.driver import ResilientDriver
+from repro.resilience.journal import table_digest
+
+__all__ = ["SCHEDULES", "main"]
+
+#: (checkpoint cadence, kill after Nth checkpoint, + this many inserts)
+SCHEDULES = [
+    {"checkpoint_every": 1, "after_checkpoint": 1, "inserts": 3},
+    {"checkpoint_every": 1, "after_checkpoint": 2, "inserts": 5},
+    {"checkpoint_every": 2, "after_checkpoint": 1, "inserts": 7},
+]
+
+
+def _result_crc(result: dict) -> int:
+    """Order-independent checksum of a table's result dictionary."""
+    crc = 0
+    for key in sorted(result):
+        value = result[key]
+        if isinstance(value, list):
+            value = sorted(value)
+        crc = zlib.crc32(key, crc)
+        crc = zlib.crc32(repr(value).encode(), crc)
+    return crc
+
+
+def _build(args):
+    """WordCount wired exactly like ``Application.run_gpu`` would."""
+    app = WordCount()
+    data = app.generate_input(args.size, seed=args.seed)
+    chunk = GpuSession.clamp_chunk(GTX_780TI, args.scale, app.chunk_bytes)
+    batches = app.batches(data, chunk)
+    session = GpuSession(GTX_780TI, args.scale, chunk)
+    table, driver = session.build_table(
+        n_buckets=args.buckets,
+        organization=app.make_organization(),
+        page_size=4096,
+        n_records=sum(len(b) for b in batches),
+    )
+    return app, data, batches, table, driver
+
+
+def _child(args) -> int:
+    _, _, batches, table, driver = _build(args)
+    resilient = ResilientDriver(
+        driver,
+        journal_path=args.journal,
+        checkpoint_every=args.checkpoint_every,
+    )
+    if args.kill_after_checkpoint is not None:
+        seen = {"checkpoints": 0, "inserts": 0}
+        checkpoint = resilient.checkpoint
+
+        def counting_checkpoint(batches_, state):
+            checkpoint(batches_, state)
+            seen["checkpoints"] += 1
+
+        insert_batch = table.insert_batch
+
+        def killing_insert(*a, **kw):
+            if seen["checkpoints"] >= args.kill_after_checkpoint:
+                seen["inserts"] += 1
+                if seen["inserts"] > args.kill_inserts:
+                    # Die the hard way: no atexit, no cleanup, no flushing.
+                    os.kill(os.getpid(), signal.SIGKILL)
+            return insert_batch(*a, **kw)
+
+        resilient.checkpoint = counting_checkpoint
+        table.insert_batch = killing_insert
+
+    report = resilient.run(batches, resume=args.resume)
+    print(json.dumps({
+        "digest": table_digest(driver.table),
+        "result_crc": _result_crc(report.table.result()),
+        "elapsed": report.elapsed_seconds,
+        "iterations": report.iterations,
+        "resumed_from": report.resumed_from_iteration,
+        "checkpoints": report.checkpoints_written,
+    }))
+    return 0
+
+
+def _spawn(args, journal, schedule, resume: bool):
+    cmd = [
+        sys.executable, "-m", "repro.resilience.crashtest", "--child",
+        "--journal", journal,
+        "--checkpoint-every", str(schedule["checkpoint_every"]),
+        "--size", str(args.size), "--seed", str(args.seed),
+        "--scale", str(args.scale), "--buckets", str(args.buckets),
+    ]
+    if resume:
+        cmd.append("--resume")
+    else:
+        cmd += [
+            "--kill-after-checkpoint", str(schedule["after_checkpoint"]),
+            "--kill-inserts", str(schedule["inserts"]),
+        ]
+    env = dict(os.environ, REPRO_SANITIZE="paranoid")
+    return subprocess.run(cmd, capture_output=True, text=True, env=env)
+
+
+def _oracle(args, cadence: int, workdir: str):
+    """Uninterrupted resilient run with the given checkpoint cadence."""
+    app, data, batches, table, driver = _build(args)
+    resilient = ResilientDriver(
+        driver,
+        journal_path=os.path.join(workdir, f"oracle-{cadence}.npz"),
+        checkpoint_every=cadence,
+    )
+    report = resilient.run(batches)
+    reference = app.reference(data)
+    assert report.table.result() == reference, (
+        "oracle run disagrees with the pure-Python reference"
+    )
+    return {
+        "digest": table_digest(table),
+        "result_crc": _result_crc(reference),
+        "elapsed": report.elapsed_seconds,
+        "iterations": report.iterations,
+    }
+
+
+def _retry_phase(args) -> None:
+    from repro.sanitize import TransientTransferFault
+
+    _, _, batches, table, driver = _build(args)
+    fault = TransientTransferFault(every=5, failures=2)
+    fault.install(table, driver)
+    report = driver.run(batches)
+    retry = report.breakdown.get("retry", 0.0)
+    assert driver.bus.retries > 0, "fault schedule never fired"
+    assert retry > 0.0, "retry time missing from the clock breakdown"
+    print(f"retry phase: {driver.bus.retries} retries, "
+          f"{retry * 1e6:.2f}us charged to the simulated clock")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.resilience.crashtest")
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--journal", help=argparse.SUPPRESS)
+    parser.add_argument("--checkpoint-every", type=int, default=1,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--resume", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--kill-after-checkpoint", type=int, default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--kill-inserts", type=int, default=0,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--size", type=int, default=200_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scale", type=int, default=65_536)
+    parser.add_argument("--buckets", type=int, default=512)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        os.environ.setdefault("REPRO_SANITIZE", "paranoid")
+        return _child(args)
+
+    os.environ.setdefault("REPRO_SANITIZE", "paranoid")
+    oracles: dict[int, dict] = {}
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="crashtest-") as workdir:
+        for i, schedule in enumerate(SCHEDULES, 1):
+            cadence = schedule["checkpoint_every"]
+            if cadence not in oracles:
+                oracles[cadence] = _oracle(args, cadence, workdir)
+            oracle = oracles[cadence]
+            journal = os.path.join(workdir, f"schedule-{i}.npz")
+
+            victim = _spawn(args, journal, schedule, resume=False)
+            if victim.returncode != -signal.SIGKILL:
+                print(f"schedule {i}: victim exited {victim.returncode}, "
+                      f"expected SIGKILL\n{victim.stderr}")
+                failures += 1
+                continue
+            if not os.path.exists(journal):
+                print(f"schedule {i}: victim died without writing a journal")
+                failures += 1
+                continue
+
+            survivor = _spawn(args, journal, schedule, resume=True)
+            if survivor.returncode != 0:
+                print(f"schedule {i}: resume failed\n{survivor.stderr}")
+                failures += 1
+                continue
+            out = json.loads(survivor.stdout)
+
+            problems = []
+            if out["digest"] != oracle["digest"]:
+                problems.append(
+                    f"table digest {out['digest']} != oracle {oracle['digest']}"
+                )
+            if out["result_crc"] != oracle["result_crc"]:
+                problems.append("result differs from the dict oracle")
+            if abs(out["elapsed"] - oracle["elapsed"]) > 1e-12:
+                problems.append(
+                    f"clock {out['elapsed']} != oracle {oracle['elapsed']}"
+                )
+            if out["resumed_from"] is None:
+                problems.append("survivor did not resume from the journal")
+            if problems:
+                failures += 1
+                print(f"schedule {i}: FAIL ({'; '.join(problems)})")
+            else:
+                print(f"schedule {i}: OK -- killed after checkpoint "
+                      f"{schedule['after_checkpoint']}+{schedule['inserts']} "
+                      f"inserts, resumed at iteration {out['resumed_from']}, "
+                      f"byte-identical through iteration {out['iterations']}")
+
+    _retry_phase(args)
+    if failures:
+        print(f"{failures} schedule(s) failed")
+        return 1
+    print("all schedules byte-identical after SIGKILL + resume")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from repro.sanitize.faults import (
     Fault,
     MidIterationEviction,
     PoolExhaustion,
+    TransientTransferFault,
     ZeroCapacityStart,
 )
 from repro.sanitize.sanitizer import (
@@ -50,4 +51,5 @@ __all__ = [
     "PoolExhaustion",
     "MidIterationEviction",
     "ZeroCapacityStart",
+    "TransientTransferFault",
 ]

@@ -28,6 +28,7 @@ __all__ = [
     "PoolExhaustion",
     "MidIterationEviction",
     "ZeroCapacityStart",
+    "TransientTransferFault",
 ]
 
 
@@ -154,3 +155,70 @@ class ZeroCapacityStart(Fault):
             return report
 
         table.end_iteration = end_iteration
+
+
+class TransientTransferFault(Fault):
+    """Fail chosen DMA operations' first attempts, then let retries through.
+
+    Deterministic like the rest of the injectors: the fault is a pure
+    function of the bus's operation index (every ``bulk``/``small``/
+    ``overlapped`` call is one operation) and the attempt number.  Two
+    equivalent ways to describe the schedule:
+
+    * ``schedule={op_index: n_failures, ...}`` -- the listed operations
+      fail their first ``n_failures`` attempts;
+    * ``every=K`` -- each ``K``-th operation fails its first ``failures``
+      attempts.
+
+    A scheduled failure count above the bus's ``max_retries`` makes the
+    fault *persistent*: the transfer raises
+    :class:`~repro.gpusim.pcie.TransferError` instead of recovering, which
+    is how tests drive the degradation machinery from the transfer side.
+    """
+
+    name = "transient-transfer"
+
+    def __init__(
+        self,
+        schedule: dict[int, int] | None = None,
+        every: int | None = None,
+        failures: int = 1,
+    ):
+        if (schedule is None) == (every is None):
+            raise ValueError("give exactly one of schedule= or every=")
+        if every is not None and every <= 0:
+            raise ValueError("every must be positive")
+        if failures <= 0:
+            raise ValueError("failures must be positive")
+        if schedule is not None and any(n <= 0 for n in schedule.values()):
+            raise ValueError("scheduled failure counts must be positive")
+        self.schedule = dict(schedule) if schedule is not None else None
+        self.every = every
+        self.failures = failures
+        #: (op_index, attempt) pairs that actually failed, for assertions
+        self.fired: list[tuple[int, int]] = []
+
+    def describe(self) -> str:
+        if self.schedule is not None:
+            return f"{self.name}(schedule={self.schedule})"
+        return f"{self.name}(every={self.every}, failures={self.failures})"
+
+    def should_fail(self, op_index: int, attempt: int) -> bool:
+        if self.schedule is not None:
+            planned = self.schedule.get(op_index, 0)
+        elif (op_index + 1) % self.every == 0:
+            planned = self.failures
+        else:
+            planned = 0
+        if attempt < planned:
+            self.fired.append((op_index, attempt))
+            return True
+        return False
+
+    def install(self, table, driver=None) -> None:
+        if driver is None or not hasattr(driver, "bus"):
+            raise ValueError(
+                "TransientTransferFault installs on the driver's PCIe bus; "
+                "pass the driver"
+            )
+        driver.bus.set_fault_injector(self.should_fail)

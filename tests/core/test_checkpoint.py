@@ -137,3 +137,170 @@ def test_roundtrip_property(tmp_path_factory, pairs):
     save_table(t, path)
     frozen = load_table(path)
     assert frozen.result() == t.result()
+
+
+# ----------------------------------------------------------------------
+# corrupt-file handling
+# ----------------------------------------------------------------------
+def test_truncated_file_rejected(tmp_path):
+    t = make_table(CombiningOrganization(SUM_I64))
+    t.insert(b"k", 1)
+    path = tmp_path / "t.npz"
+    save_table(t, path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(CheckpointError):
+        load_table(path)
+
+
+def test_garbage_file_rejected(tmp_path):
+    path = tmp_path / "t.npz"
+    path.write_bytes(b"definitely not a zip archive")
+    with pytest.raises(CheckpointError, match="unreadable"):
+        load_table(path)
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(CheckpointError):
+        load_table(tmp_path / "absent.npz")
+
+
+def test_unknown_combiner_rejected(tmp_path):
+    import json
+
+    t = make_table(CombiningOrganization(SUM_I64))
+    t.insert(b"k", 1)
+    path = tmp_path / "t.npz"
+    save_table(t, path)
+    with np.load(path) as a:
+        meta = json.loads(bytes(a["meta"]).decode())
+        arrays = {k: a[k] for k in a.files if k != "meta"}
+    meta["combiner"]["name"] = "xor"  # not a library combiner
+    np.savez(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        **arrays,
+    )
+    with pytest.raises(CheckpointError, match="unknown combiner"):
+        load_table(path)
+
+
+def test_bitor_combiner_roundtrips_scalar(tmp_path):
+    """The bitor factory must honour the stored scalar, not discard it."""
+    from repro.core.combiners import BitOrCombiner
+
+    t = make_table(CombiningOrganization(BitOrCombiner()))
+    t.insert(b"flags", 0b0101)
+    t.insert(b"flags", 0b0011)
+    t.end_iteration()
+    frozen = roundtrip(t, tmp_path)
+    assert frozen.result() == {b"flags": 0b0111}
+    assert frozen.combiner.name == "bitor"
+    assert frozen.combiner.scalar == t.org.combiner.scalar
+
+
+def test_bitor_combiner_rejects_float():
+    from repro.core.combiners import BitOrCombiner
+
+    with pytest.raises(ValueError):
+        BitOrCombiner("f64")
+
+
+# ----------------------------------------------------------------------
+# in-progress snapshot/restore (the resilience layer's building blocks)
+# ----------------------------------------------------------------------
+def make_pair(**kw):
+    """Two identically-configured tables: one to run, one to restore into."""
+    return (make_table(CombiningOrganization(SUM_I64), **kw),
+            make_table(CombiningOrganization(SUM_I64), **kw))
+
+
+def test_snapshot_requires_quiesced_table():
+    from repro.core.checkpoint import snapshot_table
+
+    t = make_table(CombiningOrganization(SUM_I64))
+    t.insert(b"k", 1)  # page now resident
+    with pytest.raises(CheckpointError, match="quiesce"):
+        snapshot_table(t)
+
+
+def test_quiesce_snapshot_restore_roundtrip():
+    from repro.core.checkpoint import (
+        quiesce_table,
+        restore_table,
+        snapshot_table,
+    )
+
+    src, dst = make_pair()
+    src.insert_batch(numeric_batch([(b"a", 1), (b"b", 2)]))
+    src.end_iteration()
+    src.insert_batch(numeric_batch([(b"a", 10), (b"c", 3)]))  # resident state
+    quiesce_table(src)
+    payload = snapshot_table(src)
+
+    restore_table(dst, payload)
+    assert dst.result() == src.result() == {b"a": 11, b"b": 2, b"c": 3}
+    assert dst.total_inserted == src.total_inserted
+    assert dst.heap.pool._free_slots == src.heap.pool._free_slots
+    # the restored table keeps working
+    dst.insert_batch(numeric_batch([(b"a", 100)]))
+    dst.end_iteration()
+    assert dst.result()[b"a"] == 111
+
+
+def test_restore_rejects_config_mismatch():
+    from repro.core.checkpoint import quiesce_table, restore_table, snapshot_table
+
+    src = make_table(CombiningOrganization(SUM_I64))
+    src.insert(b"k", 1)
+    quiesce_table(src)
+    payload = snapshot_table(src)
+    wrong = make_table(CombiningOrganization(SUM_I64), n_buckets=32)
+    with pytest.raises(CheckpointError, match="n_buckets"):
+        restore_table(wrong, payload)
+
+
+def test_restore_rejects_dirty_target():
+    from repro.core.checkpoint import quiesce_table, restore_table, snapshot_table
+
+    src, dst = make_pair()
+    src.insert(b"k", 1)
+    quiesce_table(src)
+    payload = snapshot_table(src)
+    dst.insert(b"already", 1)  # not fresh
+    with pytest.raises(CheckpointError, match="fresh"):
+        restore_table(dst, payload)
+
+
+def test_quiesce_evicts_pinned_pages():
+    from repro.core.checkpoint import quiesce_table
+
+    t = make_table(MultiValuedOrganization())
+    t.insert_batch(byte_batch([(b"k", b"v1"), (b"k", b"v2")]))
+    assert t.heap.resident_pages
+    moved = quiesce_table(t)
+    assert moved > 0
+    assert not t.heap.resident_pages
+    assert sorted(t.result()[b"k"]) == [b"v1", b"v2"]
+
+
+def test_clock_snapshot_restore():
+    from repro.core.checkpoint import restore_clock, snapshot_clock
+    from repro.gpusim.clock import CostCategory, CostLedger
+
+    src = CostLedger()
+    src.charge(CostCategory.PCIE, 1.5)
+    src.charge(CostCategory.ATOMIC, 0.25)
+    dst = CostLedger()
+    dst.charge(CostCategory.HOST, 9.0)  # must be wiped by restore
+    restore_clock(dst, snapshot_clock(src))
+    assert dst.breakdown() == src.breakdown()
+    assert dst.elapsed == pytest.approx(src.elapsed)
+
+
+def test_clock_restore_rejects_unknown_category():
+    from repro.core.checkpoint import restore_clock
+    from repro.gpusim.clock import CostLedger
+
+    with pytest.raises(CheckpointError, match="category"):
+        restore_clock(CostLedger(), {"warp-drive": 1.0})

@@ -69,3 +69,68 @@ def test_sepo_contrast_bulk_vs_small():
     t_bulk = bus.transfer_time(nbytes, transactions=1)
     t_small = bus.transfer_time(nbytes, transactions=nbytes // 8)
     assert t_small / t_bulk > 100
+
+
+# ----------------------------------------------------------------------
+# transient-fault retry (resilience layer)
+# ----------------------------------------------------------------------
+def test_retry_charges_backoff_and_recovers():
+    led = CostLedger()
+    bus = PCIeBus(led)
+    fails = {"left": 2}
+
+    def injector(op, attempt):
+        if fails["left"]:
+            fails["left"] -= 1
+            return True
+        return False
+
+    bus.set_fault_injector(injector)
+    t = bus.bulk(1 << 20)
+    assert bus.retries == 2
+    # each failed attempt wastes the transfer time plus exponential backoff
+    expected = 2 * t + bus.retry_backoff * (1 + 2)
+    assert bus.retry_seconds == pytest.approx(expected)
+    assert led.spent(CostCategory.RETRY) == pytest.approx(expected)
+    # the successful attempt is still charged to PCIE as usual
+    assert led.spent(CostCategory.PCIE) == pytest.approx(t)
+
+
+def test_persistent_fault_raises_transfer_error():
+    from repro.gpusim.pcie import TransferError
+
+    bus = PCIeBus(CostLedger(), max_retries=3)
+    bus.set_fault_injector(lambda op, attempt: True)
+    with pytest.raises(TransferError):
+        bus.bulk(1024)
+
+
+def test_retry_applies_to_overlapped_transfers():
+    led = CostLedger()
+    bus = PCIeBus(led)
+    bus.set_fault_injector(lambda op, attempt: attempt < 1)  # one fail per op
+    bus.overlapped(1 << 20, hidden_seconds=1.0)
+    assert bus.retries == 1
+    # retries are never hidden by compute/transfer overlap
+    assert led.spent(CostCategory.RETRY) > 0
+
+
+def test_operations_counted_without_injector(bus):
+    bus.bulk(100)
+    bus.small(10, 8)
+    assert bus.transfer_ops == 2
+    assert bus.retries == 0 and bus.retry_seconds == 0.0
+
+
+def test_injector_sees_operation_indices():
+    bus = PCIeBus(CostLedger())
+    seen = []
+
+    def injector(op, attempt):
+        seen.append((op, attempt))
+        return False
+
+    bus.set_fault_injector(injector)
+    bus.bulk(100)
+    bus.bulk(100)
+    assert seen == [(0, 0), (1, 0)]

@@ -106,3 +106,44 @@ def test_runtime_modes_pick_organizations():
     geo = MapReduceRuntime(GeoLocation().make_job())
     assert isinstance(wc._organization(), CombiningOrganization)
     assert isinstance(geo._organization(), MultiValuedOrganization)
+
+
+def test_run_resumable_matches_plain_run(tmp_path):
+    app = WordCount()
+    data = app.generate_input(SMALL, seed=9)
+    tight = dict(scale=1 << 16, n_buckets=1 << 10, page_size=2048)
+    journal = tmp_path / "wc.npz"
+
+    runtime = MapReduceRuntime(app.make_job(), **tight)
+    result = runtime.run_resumable(data, journal, checkpoint_every=1)
+    assert normalize(result.output()) == normalize(app.reference(data))
+    assert result.resilience is not None
+    assert result.resilience.checkpoints_written >= 1
+    assert journal.exists()
+
+    # the journal left behind holds a mid-run state; resuming replays the
+    # tail of the run and converges on the same answer
+    resumed = MapReduceRuntime(app.make_job(), **tight).run_resumable(
+        data, journal, checkpoint_every=1, resume=True
+    )
+    assert resumed.resilience.resumed_from_iteration is not None
+    assert normalize(resumed.output()) == normalize(result.output())
+
+
+def test_run_resumable_multivalued(tmp_path):
+    app = GeoLocation()
+    data = app.generate_input(SMALL, seed=2)
+    tight = dict(scale=1 << 16, n_buckets=1 << 10, page_size=2048)
+    result = MapReduceRuntime(app.make_job(), **tight).run_resumable(
+        data, tmp_path / "geo.npz", checkpoint_every=2
+    )
+    assert normalize(result.output()) == normalize(app.reference(data))
+
+
+def test_runtime_sanitize_knob_reaches_table():
+    app = WordCount()
+    data = app.generate_input(10_000, seed=3)
+    runtime = MapReduceRuntime(app.make_job(), sanitize="paranoid", **GEOMETRY)
+    result = runtime.run(data)
+    assert result.table.sanitize == "paranoid"
+    assert normalize(result.output()) == normalize(app.reference(data))

@@ -1,0 +1,72 @@
+"""The SIGKILL harness itself: kill a real process, resume, compare.
+
+These run the same orchestration CI uses (``python -m
+repro.resilience.crashtest``) but at a reduced scale so the whole
+kill/resume/verify cycle stays fast in the tier-1 suite.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.resilience import crashtest
+
+
+def parent_args(**over):
+    ns = dict(size=120_000, seed=1, scale=65_536, buckets=512)
+    ns.update(over)
+    return ns
+
+
+def spawn(tmp_path, schedule, resume, **over):
+    ns = parent_args(**over)
+    cmd = [
+        sys.executable, "-m", "repro.resilience.crashtest", "--child",
+        "--journal", str(tmp_path / "j.npz"),
+        "--checkpoint-every", str(schedule["checkpoint_every"]),
+        "--size", str(ns["size"]), "--seed", str(ns["seed"]),
+        "--scale", str(ns["scale"]), "--buckets", str(ns["buckets"]),
+    ]
+    if resume:
+        cmd.append("--resume")
+    else:
+        cmd += [
+            "--kill-after-checkpoint", str(schedule["after_checkpoint"]),
+            "--kill-inserts", str(schedule["inserts"]),
+        ]
+    env = dict(os.environ, REPRO_SANITIZE="paranoid",
+               PYTHONPATH=os.pathsep.join(sys.path))
+    return subprocess.run(cmd, capture_output=True, text=True, env=env)
+
+
+def test_sigkill_and_resume_is_byte_identical(tmp_path):
+    import argparse
+
+    schedule = {"checkpoint_every": 1, "after_checkpoint": 1, "inserts": 3}
+    ns = argparse.Namespace(**parent_args())
+
+    victim = spawn(tmp_path, schedule, resume=False)
+    assert victim.returncode == -signal.SIGKILL, victim.stderr
+    assert (tmp_path / "j.npz").exists()
+
+    survivor = spawn(tmp_path, schedule, resume=True)
+    assert survivor.returncode == 0, survivor.stderr
+    out = json.loads(survivor.stdout)
+    assert out["resumed_from"] is not None
+
+    oracle = crashtest._oracle(ns, schedule["checkpoint_every"],
+                               str(tmp_path))
+    assert out["digest"] == oracle["digest"]
+    assert out["result_crc"] == oracle["result_crc"]
+    assert out["elapsed"] == pytest.approx(oracle["elapsed"], abs=1e-12)
+
+
+def test_crashtest_schedules_are_defined():
+    assert len(crashtest.SCHEDULES) == 3
+    for schedule in crashtest.SCHEDULES:
+        assert schedule["checkpoint_every"] >= 1
+        assert schedule["after_checkpoint"] >= 1

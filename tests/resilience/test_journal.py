@@ -1,0 +1,134 @@
+"""Journal format: atomic round-trips and loud rejection of corruption."""
+
+import numpy as np
+import pytest
+
+from repro.core import CombiningOrganization, SUM_I64
+from repro.resilience import (
+    JournalError,
+    input_fingerprint,
+    journal_exists,
+    read_journal,
+    table_digest,
+    write_journal,
+)
+from tests.core.conftest import make_table, numeric_batch
+
+
+def sample():
+    meta = {"driver": {"iteration": 3}, "fingerprint": {"n": 2}}
+    arrays = {
+        "pending": np.array([True, False, True]),
+        "log": np.arange(14, dtype=np.int64).reshape(2, 7),
+    }
+    return meta, arrays
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "j.npz"
+    meta, arrays = sample()
+    write_journal(path, meta, arrays)
+    got_meta, got_arrays = read_journal(path)
+    assert got_meta["driver"] == meta["driver"]
+    assert got_meta["journal_version"] == 1
+    assert np.array_equal(got_arrays["pending"], arrays["pending"])
+    assert np.array_equal(got_arrays["log"], arrays["log"])
+
+
+def test_journal_exists(tmp_path):
+    path = tmp_path / "j.npz"
+    assert not journal_exists(path)
+    assert not journal_exists(None)
+    write_journal(path, *sample())
+    assert journal_exists(path)
+
+
+def test_write_is_atomic_no_tmp_left_behind(tmp_path):
+    path = tmp_path / "j.npz"
+    write_journal(path, *sample())
+    write_journal(path, *sample())  # overwrite goes through os.replace too
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["j.npz"]
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(JournalError, match="no journal"):
+        read_journal(tmp_path / "absent.npz")
+
+
+def test_truncated_file_rejected(tmp_path):
+    path = tmp_path / "j.npz"
+    write_journal(path, *sample())
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(JournalError):
+        read_journal(path)
+
+
+def test_garbage_file_rejected(tmp_path):
+    path = tmp_path / "j.npz"
+    path.write_bytes(b"this is not an npz archive")
+    with pytest.raises(JournalError, match="unreadable"):
+        read_journal(path)
+
+
+def test_tampered_array_fails_checksum(tmp_path):
+    path = tmp_path / "j.npz"
+    write_journal(path, *sample())
+    import json
+
+    with np.load(path) as a:
+        meta = json.loads(bytes(a["meta"]).decode())
+        arrays = {k: a[k] for k in a.files if k != "meta"}
+    arrays["pending"] = ~arrays["pending"]
+    np.savez(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        **arrays,
+    )
+    with pytest.raises(JournalError, match="checksum"):
+        read_journal(path)
+
+
+def test_wrong_version_rejected(tmp_path):
+    path = tmp_path / "j.npz"
+    write_journal(path, *sample())
+    import json
+
+    with np.load(path) as a:
+        meta = json.loads(bytes(a["meta"]).decode())
+        arrays = {k: a[k] for k in a.files if k != "meta"}
+    meta["journal_version"] = 99
+    np.savez(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        **arrays,
+    )
+    with pytest.raises(JournalError, match="version"):
+        read_journal(path)
+
+
+def test_missing_meta_member_rejected(tmp_path):
+    path = tmp_path / "j.npz"
+    np.savez(path, pending=np.zeros(3))
+    with pytest.raises(JournalError):
+        read_journal(path)
+
+
+def test_input_fingerprint_distinguishes_inputs():
+    a = [numeric_batch([(b"x", 1), (b"y", 2)])]
+    b = [numeric_batch([(b"x", 1), (b"y", 2)])]
+    c = [numeric_batch([(b"longer-key", 1), (b"y", 2)])]
+    assert input_fingerprint(a) == input_fingerprint(b)
+    assert input_fingerprint(a) != input_fingerprint(c)
+
+
+def test_table_digest_tracks_content():
+    t = make_table(CombiningOrganization(SUM_I64))
+    empty = table_digest(t)
+    t.insert_batch(numeric_batch([(b"a", 1)]))
+    resident = table_digest(t)
+    assert resident != empty
+    t.end_iteration()
+    assert table_digest(t) != empty
+    # digest covers evicted segments too, not just resident pages
+    assert not t.heap.resident_pages

@@ -114,3 +114,85 @@ def test_faults_describe_themselves():
     assert "pool-exhaustion" in PoolExhaustion().describe()
     assert "mid-iteration-eviction" in MidIterationEviction().describe()
     assert "zero-capacity-start" in ZeroCapacityStart().describe()
+
+
+# ----------------------------------------------------------------------
+# transient transfer faults
+# ----------------------------------------------------------------------
+def test_transient_transfer_param_validation():
+    from repro.sanitize import TransientTransferFault
+
+    with pytest.raises(ValueError):
+        TransientTransferFault()  # neither schedule nor every
+    with pytest.raises(ValueError):
+        TransientTransferFault(schedule={0: 1}, every=2)  # both
+    with pytest.raises(ValueError):
+        TransientTransferFault(every=0)
+    with pytest.raises(ValueError):
+        TransientTransferFault(every=2, failures=0)
+    with pytest.raises(ValueError):
+        TransientTransferFault(schedule={3: -1})
+
+
+def test_transient_transfer_requires_driver_with_bus():
+    from repro.sanitize import TransientTransferFault
+
+    fault = TransientTransferFault(every=2)
+    with pytest.raises(ValueError):
+        fault.install(None, driver=None)
+
+
+def test_transient_transfer_run_completes_with_retry_time():
+    from repro.sanitize import TransientTransferFault
+
+    workload = make_workload("uniform", 300, 7)
+    batches = make_batches(workload, "combining", batch_size=100)
+    table, driver = build()
+    fault = TransientTransferFault(every=4, failures=2)
+    fault.install(table, driver)
+    report = driver.run(batches)
+    assert table.result() == oracle(workload, "combining")
+    assert fault.fired  # the schedule actually triggered
+    assert driver.bus.retries == len(fault.fired)
+    # the wasted attempts are visible in the simulated-clock breakdown
+    assert report.breakdown["retry"] > 0
+    assert report.breakdown["retry"] == pytest.approx(driver.bus.retry_seconds)
+
+
+def test_transient_transfer_is_deterministic():
+    from repro.sanitize import TransientTransferFault
+
+    def run():
+        workload = make_workload("uniform", 300, 7)
+        batches = make_batches(workload, "combining", batch_size=100)
+        table, driver = build()
+        fault = TransientTransferFault(schedule={1: 1, 4: 2})
+        fault.install(table, driver)
+        report = driver.run(batches)
+        return fault.fired, report.elapsed_seconds
+
+    fired1, t1 = run()
+    fired2, t2 = run()
+    assert fired1 == fired2 == [(1, 0), (4, 0), (4, 1)]
+    assert t1 == t2
+
+
+def test_transient_transfer_persistent_failure_raises():
+    from repro.gpusim.pcie import TransferError
+    from repro.sanitize import TransientTransferFault
+
+    workload = make_workload("uniform", 100, 7)
+    batches = make_batches(workload, "combining", batch_size=100)
+    table, driver = build()
+    # far more failures than the bus's max_retries: never recovers
+    fault = TransientTransferFault(schedule={0: 1000})
+    fault.install(table, driver)
+    with pytest.raises(TransferError):
+        driver.run(batches)
+
+
+def test_transient_transfer_describe():
+    from repro.sanitize import TransientTransferFault
+
+    assert "transient-transfer" in TransientTransferFault(every=3).describe()
+    assert "schedule" in TransientTransferFault(schedule={0: 1}).describe()
