@@ -8,14 +8,22 @@ implementation against the ``vectorized`` default on the same workload and
 exports ``BENCH_hostperf.json`` at the repo root so future PRs can track
 the perf trajectory::
 
-    PYTHONPATH=src python benchmarks/bench_hostperf.py          # full 64k run
+    PYTHONPATH=src python benchmarks/bench_hostperf.py            # full 64k run
+    PYTHONPATH=src python benchmarks/bench_hostperf.py --n 8192 --repeats 1
     PYTHONPATH=src python -m pytest benchmarks/bench_hostperf.py -q
 
-The pytest entry points double as the CI perf smoke: the vectorized path
-must beat the scalar reference by at least 2x (the tracked full-scale
-speedup is ~10x; 2x keeps the gate robust on noisy shared runners).
+Two key distributions are measured: ``uniform`` (every key equally likely,
+~keyspace/1 duplication) and ``zipf`` (zipf(1.05) over a reduced keyspace,
+the heavy-duplication regime where the in-batch pre-aggregation kernels
+collapse whole runs of duplicates into one chain probe).
+
+The pytest entry points double as the CI perf smoke: every organization's
+vectorized path must beat its scalar reference by at least 2x on the
+reduced workload (the tracked full-scale speedups are ~8-10x; 2x keeps the
+gate robust on noisy shared runners).
 """
 
+import argparse
 import json
 import time
 from pathlib import Path
@@ -35,16 +43,35 @@ from repro.memalloc import GpuHeap
 REPO_ROOT = Path(__file__).resolve().parent.parent
 EXPORT_PATH = REPO_ROOT / "BENCH_hostperf.json"
 
-#: the ISSUE's reference workload: 64k inserts, ~keyspace/1 duplication
+#: the ISSUE's reference workload: 64k inserts
 FULL_N = 65_536
 #: reduced scale for the CI smoke (keeps the gate < a few seconds)
 SMOKE_N = 16_384
 SMOKE_MIN_SPEEDUP = 2.0
 
+DISTRIBUTIONS = ("uniform", "zipf")
+KINDS = ("basic", "combining", "multi-valued")
 
-def make_workload(n: int, seed: int = 42):
+#: zipf skew of the heavy-duplication workload (matches the sanitize
+#: conformance matrix's ``zipf105`` cell)
+ZIPF_S = 1.05
+
+
+def zipf_choices(rng, n: int, k: int, s: float = ZIPF_S) -> np.ndarray:
+    """``n`` draws from a zipf(``s``) law over ranks ``0..k-1``."""
+    p = 1.0 / np.arange(1, k + 1, dtype=np.float64) ** s
+    return rng.choice(k, size=n, p=p / p.sum())
+
+
+def make_workload(n: int, dist: str = "uniform", seed: int = 42):
     rng = np.random.default_rng(seed)
-    keys = [b"key-%08d" % i for i in rng.integers(0, n, size=n)]
+    if dist == "uniform":
+        ranks = rng.integers(0, n, size=n)
+    elif dist == "zipf":
+        ranks = zipf_choices(rng, n, max(16, n // 8))
+    else:
+        raise ValueError(f"unknown distribution {dist!r}")
+    keys = [b"key-%08d" % i for i in ranks]
     values = [b"value-%016d" % i for i in range(n)]
     return keys, values
 
@@ -87,17 +114,20 @@ def insert_rps(kind: str, impl: str, keys, values, repeats: int = 3) -> float:
 
 
 def run_suite(n: int, repeats: int = 3) -> dict:
-    keys, values = make_workload(n)
-    results = {}
-    for kind in ("basic", "combining", "multi-valued"):
-        scalar = insert_rps(kind, "slow_reference", keys, values, repeats)
-        vectorized = insert_rps(kind, "vectorized", keys, values, repeats)
-        results[kind] = {
-            "scalar_rps": round(scalar),
-            "vectorized_rps": round(vectorized),
-            "speedup": round(vectorized / scalar, 2),
-        }
-    return {"n_records": n, "repeats": repeats, "organizations": results}
+    distributions = {}
+    for dist in DISTRIBUTIONS:
+        keys, values = make_workload(n, dist)
+        results = {}
+        for kind in KINDS:
+            scalar = insert_rps(kind, "slow_reference", keys, values, repeats)
+            vectorized = insert_rps(kind, "vectorized", keys, values, repeats)
+            results[kind] = {
+                "scalar_rps": round(scalar),
+                "vectorized_rps": round(vectorized),
+                "speedup": round(vectorized / scalar, 2),
+            }
+        distributions[dist] = results
+    return {"n_records": n, "repeats": repeats, "distributions": distributions}
 
 
 def export(report: dict, path: Path = EXPORT_PATH) -> None:
@@ -107,16 +137,34 @@ def export(report: dict, path: Path = EXPORT_PATH) -> None:
 # ----------------------------------------------------------------------
 # pytest entry points (CI perf smoke)
 # ----------------------------------------------------------------------
-def test_vectorized_beats_scalar_smoke():
-    """CI gate: the vectorized basic-organization insert must sustain at
-    least 2x the scalar reference on the reduced workload."""
-    keys, values = make_workload(SMOKE_N)
-    scalar = insert_rps("basic", "slow_reference", keys, values)
-    vectorized = insert_rps("basic", "vectorized", keys, values)
+def _smoke(kind: str, dist: str = "uniform"):
+    keys, values = make_workload(SMOKE_N, dist)
+    scalar = insert_rps(kind, "slow_reference", keys, values)
+    vectorized = insert_rps(kind, "vectorized", keys, values)
     assert vectorized >= SMOKE_MIN_SPEEDUP * scalar, (
-        f"vectorized {vectorized:,.0f} rec/s < "
+        f"{kind}/{dist}: vectorized {vectorized:,.0f} rec/s < "
         f"{SMOKE_MIN_SPEEDUP}x scalar {scalar:,.0f} rec/s"
     )
+
+
+def test_vectorized_beats_scalar_smoke():
+    """CI gate: vectorized basic insert must sustain >= 2x the scalar
+    reference on the reduced uniform workload."""
+    _smoke("basic")
+
+
+def test_vectorized_combining_beats_scalar_smoke():
+    """CI gate: the pre-aggregating combining kernel must not regress
+    below the scalar reference (>= 2x, uniform and zipf)."""
+    _smoke("combining", "uniform")
+    _smoke("combining", "zipf")
+
+
+def test_vectorized_multivalued_beats_scalar_smoke():
+    """CI gate: the bulk multi-valued kernel must not regress below the
+    scalar reference (>= 2x, uniform and zipf)."""
+    _smoke("multi-valued", "uniform")
+    _smoke("multi-valued", "zipf")
 
 
 def test_hostperf_basic_vectorized(benchmark):
@@ -139,24 +187,32 @@ def test_hostperf_export_roundtrip(tmp_path):
     export(report, out)
     loaded = json.loads(out.read_text())
     assert loaded["n_records"] == 2048
-    assert set(loaded["organizations"]) == {
-        "basic", "combining", "multi-valued"
-    }
-    for row in loaded["organizations"].values():
-        assert row["scalar_rps"] > 0 and row["vectorized_rps"] > 0
+    assert set(loaded["distributions"]) == set(DISTRIBUTIONS)
+    for dist in DISTRIBUTIONS:
+        rows = loaded["distributions"][dist]
+        assert set(rows) == set(KINDS)
+        for row in rows.values():
+            assert row["scalar_rps"] > 0 and row["vectorized_rps"] > 0
 
 
 # ----------------------------------------------------------------------
-def main() -> None:
-    report = run_suite(FULL_N)
+def main(argv=None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=FULL_N,
+                    help=f"records per workload (default {FULL_N})")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="best-of repeats per measurement (default 3)")
+    args = ap.parse_args(argv)
+    report = run_suite(args.n, args.repeats)
     export(report)
     print(f"wrote {EXPORT_PATH}")
-    for kind, row in report["organizations"].items():
-        print(
-            f"{kind:>13}: scalar {row['scalar_rps']:>10,} rec/s   "
-            f"vectorized {row['vectorized_rps']:>10,} rec/s   "
-            f"{row['speedup']:.1f}x"
-        )
+    for dist, rows in report["distributions"].items():
+        for kind, row in rows.items():
+            print(
+                f"{dist:>8}/{kind:<13} scalar {row['scalar_rps']:>10,} rec/s"
+                f"   vectorized {row['vectorized_rps']:>10,} rec/s   "
+                f"{row['speedup']:.1f}x"
+            )
 
 
 if __name__ == "__main__":

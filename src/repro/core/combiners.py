@@ -46,6 +46,9 @@ class Combiner:
     fn: Callable[[float | int, float | int], float | int]
     #: extra per-combine ALU cost in cycles (callback bodies vary)
     cycles: float = 4.0
+    #: numpy ufunc computing the same reduction over arrays, or None when
+    #: the reduction has no vectorized form (arbitrary callbacks)
+    ufunc: object | None = None
 
     def __post_init__(self) -> None:
         if self.scalar not in _FMT:
@@ -72,23 +75,49 @@ class Combiner:
     def combine(self, stored, new):
         return self.fn(stored, new)
 
+    @property
+    def supports_vector_reduce(self) -> bool:
+        """True when batched kernels may pre-aggregate duplicates in-batch.
+
+        Requires an associative ufunc, an integer scalar (bit-exact under any
+        association, unlike f64 whose rounding depends on reduction order) and
+        integer-valued cycles so vectorized cost sums match the scalar
+        accumulation bit for bit.
+        """
+        return (
+            self.ufunc is not None
+            and self.scalar in ("i64", "u64")
+            and float(self.cycles).is_integer()
+        )
+
+    def reduce_batch(self, values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        """Segmented in-order reduction: one reduced value per segment.
+
+        ``values`` must be group-contiguous and ``starts`` the segment start
+        offsets (``ufunc.reduceat`` semantics); elements inside a segment are
+        reduced left to right, matching the scalar combine order.
+        """
+        if self.ufunc is None:
+            raise ValueError(f"combiner {self.name!r} has no vectorized reduction")
+        return self.ufunc.reduceat(values, starts)
+
 
 def SumCombiner(scalar: str = "i64") -> Combiner:
-    return Combiner("sum", scalar, lambda a, b: a + b)
+    return Combiner("sum", scalar, lambda a, b: a + b, ufunc=np.add)
 
 
 def MaxCombiner(scalar: str = "i64") -> Combiner:
-    return Combiner("max", scalar, max)
+    return Combiner("max", scalar, max, ufunc=np.maximum)
 
 
 def MinCombiner(scalar: str = "i64") -> Combiner:
-    return Combiner("min", scalar, min)
+    return Combiner("min", scalar, min, ufunc=np.minimum)
 
 
 def BitOrCombiner(scalar: str = "u64") -> Combiner:
     if scalar == "f64":
         raise ValueError("bitwise-or is undefined for f64 scalars")
-    return Combiner("bitor", scalar, lambda a, b: a | b)
+    return Combiner("bitor", scalar, lambda a, b: a | b, ufunc=np.bitwise_or)
 
 
 def CallbackCombiner(

@@ -50,8 +50,12 @@ __all__ = [
     "aligned",
     "entry_size",
     "entry_sizes_bulk",
+    "key_entry_sizes_bulk",
+    "value_node_sizes_bulk",
     "scatter_rows",
     "write_entries_bulk",
+    "write_key_entries_bulk",
+    "write_value_nodes_bulk",
     "key_entry_size",
     "value_node_size",
     "write_entry",
@@ -222,6 +226,86 @@ def write_entries_bulk(
     ko = pos + ENTRY_HEADER
     scatter_rows(arena, ko, keys, klens)
     scatter_rows(arena, ko + klens, values, vlens)
+
+
+def key_entry_sizes_bulk(klens: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`key_entry_size` over a length array."""
+    return (KEY_ENTRY_HEADER + klens + 7) & ~7
+
+
+def value_node_sizes_bulk(vlens: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`value_node_size` over a length array."""
+    return (VALUE_NODE_HEADER + vlens + 7) & ~7
+
+
+def write_key_entries_bulk(
+    arena: np.ndarray,
+    pos: np.ndarray,
+    next_gpu: np.ndarray,
+    next_cpu: np.ndarray,
+    vhead_gpu: np.ndarray,
+    vhead_cpu: np.ndarray,
+    keys: np.ndarray,
+    klens: np.ndarray,
+) -> None:
+    """Vectorized :func:`write_key_entry` (flags written as 0) that also
+    stores each entry's final value-list head, so the pre-aggregated
+    multi-valued kernel never rewrites ``vhead`` for keys it creates."""
+    m = len(pos)
+    if m == 0:
+        return
+    if _LITTLE_ENDIAN and arena.size % 8 == 0 and not (pos & 7).any():
+        w64 = arena.view(np.int64)
+        p8 = pos >> 3
+        w64[p8] = next_gpu
+        w64[p8 + 1] = next_cpu
+        w64[p8 + 2] = vhead_gpu
+        w64[p8 + 3] = vhead_cpu
+        w32 = arena.view(np.uint32)
+        p4 = pos >> 2
+        w32[p4 + 8] = klens
+        w32[p4 + 9] = 0  # flags
+    else:  # pragma: no cover - exotic platforms / unaligned callers
+        hdr = np.empty((m, KEY_ENTRY_HEADER), dtype=np.uint8)
+        hdr[:, 0:8] = next_gpu.astype("<i8").reshape(m, 1).view(np.uint8)
+        hdr[:, 8:16] = next_cpu.astype("<i8").reshape(m, 1).view(np.uint8)
+        hdr[:, 16:24] = vhead_gpu.astype("<i8").reshape(m, 1).view(np.uint8)
+        hdr[:, 24:32] = vhead_cpu.astype("<i8").reshape(m, 1).view(np.uint8)
+        hdr[:, 32:36] = klens.astype("<u4").reshape(m, 1).view(np.uint8)
+        hdr[:, 36:40] = 0
+        arena[pos[:, None] + np.arange(KEY_ENTRY_HEADER)] = hdr
+    scatter_rows(arena, pos + KEY_ENTRY_HEADER, keys, klens)
+
+
+def write_value_nodes_bulk(
+    arena: np.ndarray,
+    pos: np.ndarray,
+    vnext_gpu: np.ndarray,
+    vnext_cpu: np.ndarray,
+    values: np.ndarray,
+    vlens: np.ndarray,
+) -> None:
+    """Vectorized :func:`write_value_node` for ``m`` nodes at flat positions."""
+    m = len(pos)
+    if m == 0:
+        return
+    if _LITTLE_ENDIAN and arena.size % 8 == 0 and not (pos & 7).any():
+        w64 = arena.view(np.int64)
+        p8 = pos >> 3
+        w64[p8] = vnext_gpu
+        w64[p8 + 1] = vnext_cpu
+        w32 = arena.view(np.uint32)
+        p4 = pos >> 2
+        w32[p4 + 4] = vlens
+        w32[p4 + 5] = 0  # pad
+    else:  # pragma: no cover - exotic platforms / unaligned callers
+        hdr = np.empty((m, VALUE_NODE_HEADER), dtype=np.uint8)
+        hdr[:, 0:8] = vnext_gpu.astype("<i8").reshape(m, 1).view(np.uint8)
+        hdr[:, 8:16] = vnext_cpu.astype("<i8").reshape(m, 1).view(np.uint8)
+        hdr[:, 16:20] = vlens.astype("<u4").reshape(m, 1).view(np.uint8)
+        hdr[:, 20:24] = 0
+        arena[pos[:, None] + np.arange(VALUE_NODE_HEADER)] = hdr
+    scatter_rows(arena, pos + VALUE_NODE_HEADER, values, vlens)
 
 
 # ----------------------------------------------------------------------

@@ -15,6 +15,15 @@ Combining-method semantics deserve care: a key may have residue entries in
 several segments (one per iteration that evicted it), so a lookup only
 completes once it has walked its *entire* chain, combining every match on
 the way -- the value returned equals the finalized CPU-side result.
+
+Like the insert kernels, the probe has two implementations sharing exact
+accounting: ``slow_reference`` walks each query's chain entry by entry,
+while ``vectorized`` (the default) materializes every touched resident
+chain *once per iteration* -- keyed by resume address -- and scans each
+query against the cached view, so a batch of queries hashing to the same
+bucket parses each chain entry a single time instead of once per query.
+The multi-valued walk interleaves two chain kinds with per-key value
+lists and stays on the scalar path under either setting.
 """
 
 from __future__ import annotations
@@ -39,6 +48,20 @@ __all__ = ["LookupDriver", "LookupResult"]
 
 
 @dataclass
+class _ChainView:
+    """One resident chain walk, cached for every query that shares it.
+
+    ``entries`` holds ``(bytes_cost, key, raw_value)`` per entry in walk
+    order; ``blocked`` is ``(segment, address)`` when the chain crossed
+    into a non-resident segment (queries that exhaust ``entries`` without
+    completing must POSTPONE there), or None when the walk reached NULL.
+    """
+
+    entries: list[tuple[int, bytes, bytes]]
+    blocked: tuple[int, int] | None
+
+
+@dataclass
 class LookupResult:
     """Outcome of a batched SEPO lookup."""
 
@@ -59,9 +82,13 @@ class LookupDriver:
         kernel: KernelModel,
         bus: PCIeBus,
         max_iterations: int = 10_000,
+        impl: str = "vectorized",
     ):
         from repro.core.organizations import MultiValuedOrganization
 
+        if impl not in ("vectorized", "slow_reference"):
+            raise ValueError(f"unknown impl {impl!r}")
+        self.impl = impl
         self._combiner = None
         self._multivalued = False
         if isinstance(table.org, CombiningOrganization):
@@ -117,12 +144,21 @@ class LookupDriver:
             still: dict[int, tuple[int, Any, bool]] = {}
             stats = BatchStats(n_records=len(state), divergence=1.0)
             cycles = 0.0
+            # Chain views this pass, keyed by resume address.  Scoped to
+            # one iteration: _rearrange changes residency between passes.
+            views: dict[int, _ChainView] = {}
             for i, walk_state in state.items():
                 key = keys[i]
                 if self._multivalued:
                     outcome = self._walk_mv(
                         key, *walk_state, page_size=page_size, stats=stats,
                         values=values, i=i,
+                    )
+                elif self.impl == "vectorized":
+                    addr, acc, found = walk_state
+                    outcome = self._walk_view(
+                        key, addr, acc, found, views, page_size, stats,
+                        values, i,
                     )
                 else:
                     addr, acc, found = walk_state
@@ -156,6 +192,62 @@ class LookupDriver:
         )
 
     # ------------------------------------------------------------------
+    def _materialize_lookup_chain(self, addr: int, page_size: int) -> _ChainView:
+        """Walk the resident chain from ``addr`` once, parsing each entry
+        into ``(bytes_cost, key, raw_value)``."""
+        heap = self.table.heap
+        entries: list[tuple[int, bytes, bytes]] = []
+        blocked = None
+        while addr != NULL:
+            seg, off = divmod(addr, page_size)
+            page = heap.resident_page(seg)
+            if page is None:
+                blocked = (seg, addr)
+                break
+            buf = heap.pool.slot_view(page.slot)
+            _, next_cpu, klen, vlen = E.read_entry_header(buf, off)
+            entries.append((
+                E.ENTRY_HEADER + klen,
+                E.entry_key(buf, off, klen),
+                E.entry_value(buf, off, klen, vlen),
+            ))
+            addr = next_cpu
+        return _ChainView(entries, blocked)
+
+    def _walk_view(self, key, addr, acc, found, views, page_size, stats,
+                   values, i):
+        """Advance one chain walk against the per-pass cached views.
+
+        Charges exactly what :meth:`_walk` charges: the basic method pays
+        for each entry up to and including its match; the combining method
+        pays for the whole walked prefix (it must see every residue).
+        """
+        view = views.get(addr)
+        if view is None:
+            view = views[addr] = self._materialize_lookup_chain(
+                addr, page_size
+            )
+        comb = self._combiner
+        if comb is None:
+            for cost, ekey, raw in view.entries:
+                stats.bytes_touched += cost
+                if ekey == key:
+                    values[i] = raw  # basic method: newest entry wins
+                    return None
+        else:
+            for cost, ekey, raw in view.entries:
+                stats.bytes_touched += cost
+                if ekey == key:
+                    v = comb.unpack(raw)
+                    acc = v if not found else comb.combine(acc, v)
+                    found = True
+        if view.blocked is not None:
+            seg, baddr = view.blocked
+            return seg, (baddr, acc, found)
+        if found:
+            values[i] = acc
+        return None
+
     def _walk(self, key, addr, acc, found, page_size, stats, values, i):
         """Advance one chain walk.
 

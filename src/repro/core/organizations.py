@@ -42,7 +42,7 @@ import numpy as np
 from repro.core import entries as E
 from repro.core.combiners import Combiner
 from repro.memalloc.address import NULL
-from repro.memalloc.pages import PageKind
+from repro.memalloc.pages import KIND_CODES, PageKind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.hashtable import GpuHashTable
@@ -116,6 +116,27 @@ class _ChainReplay:
             for i in range(n - 1, t - 1, -1):
                 trace.on_access(self.addrs[i], self.costs[i])
         return self.refs[t]
+
+
+def _segmented_exclusive_cumsum(x: np.ndarray, seg: np.ndarray) -> np.ndarray:
+    """Per-element sum of *earlier* same-segment elements, in arrival order.
+
+    This is the closed form behind the pre-aggregated kernels' walk
+    accounting: with ``x`` holding per-record "a new entry was prepended
+    here" event weights and ``seg`` the bucket ids, the result at record
+    ``j`` is exactly how much the bucket's chain grew before ``j``'s walk
+    started -- what the scalar reference observes record by record.
+    """
+    m = len(x)
+    order = np.argsort(seg, kind="stable")
+    xs = x[order]
+    excl = np.cumsum(xs) - xs
+    ss = seg[order]
+    st = np.flatnonzero(np.r_[True, ss[1:] != ss[:-1]])
+    base = np.repeat(excl[st], np.diff(np.r_[st, m]))
+    out = np.empty(m, dtype=np.int64)
+    out[order] = excl - base
+    return out
 
 
 @dataclass
@@ -420,18 +441,224 @@ class CombiningOrganization(Organization):
         return chain
 
     def _insert_vectorized(self, table, batch, idx, buckets, tally):
-        """Batched combining insert: chain walks become replays.
+        """Batched combining insert via in-batch pre-aggregation.
 
-        Each touched bucket's resident chain is materialized once per
-        batch; every record then resolves its key in O(1) while charging
-        exactly the probe steps and bytes the real walk would.  Allocation,
-        packing, and in-place combines are unchanged.
+        Records are grouped by distinct key (cached hashes, one lexsort);
+        duplicate values are pre-reduced with the combiner's ``ufunc.reduceat``
+        so each distinct key performs one chain probe and one in-place
+        combine; misses are bulk-allocated and scatter-written exactly like
+        the basic kernel.  Tallies stay byte-identical to the scalar walk:
+        probe steps and touched bytes are vectorized sums of the very
+        charges the reference makes (see ``_insert_preagg``).
+
+        Falls back to the replay walk -- exact but per-record -- when the
+        charges cannot be reproduced in closed form: an access trace is
+        attached (per-walk ``on_access`` ordering), a 64-bit hash collision
+        was detected, the combiner lacks an exact vectorized reduction
+        (callbacks, f64 rounding-order sensitivity), or the batch's numeric
+        dtype differs from the combiner's.
         """
         if batch.numeric_values is None:
             raise ValueError(
                 "the combining method stores fixed-width scalar values; "
                 "build the batch with numeric_values"
             )
+        comb = self.combiner
+        grouping = batch.cache.grouping(table.buckets)
+        if (
+            table.trace is not None
+            or grouping.has_collision
+            or not comb.supports_vector_reduce
+            or batch.numeric_values.dtype != comb.dtype
+        ):
+            return self._insert_replay(table, batch, idx, buckets, tally)
+        return self._insert_preagg(table, batch, idx, buckets, tally, grouping)
+
+    def _insert_preagg(self, table, batch, idx, buckets, tally, grouping):
+        """One probe + one combine per distinct key, scalar-exact tallies.
+
+        The scalar reference's walk charges depend on how the bucket's
+        chain grows *during* the batch: a record's walk visits the resident
+        prefix plus every entry prepended by earlier records of the batch.
+        Both contributions have closed forms -- per-bucket exclusive
+        cumulative sums of "entry prepended here" events (probe steps) and
+        their header+key costs (bytes) -- so the kernel never replays
+        per-record walks.  In-batch duplicate values are pre-reduced per
+        distinct key (left-to-right, matching the scalar combine order; the
+        only divergence is int64 overflow, which wraps here as on a real
+        GPU but raises in the scalar oracle's ``struct.pack``).
+
+        Keys whose first allocation fails are postponed on *every*
+        occurrence, exactly like the reference: a failed allocation mutates
+        nothing and the pool never refills mid-iteration, so the doomed
+        repeat requests are accounted arithmetically
+        (:meth:`~repro.memalloc.allocator.BucketGroupAllocator.record_denied_retries`).
+        """
+        heap = table.heap
+        alloc = table.alloc
+        head_gpu = table.buckets.head_gpu
+        head_cpu = table.buckets.head_cpu
+        group_size = table.buckets.group_size
+        comb = self.combiner
+        page_size = heap.page_size
+        m = len(idx)
+        if m == 0:
+            return np.zeros(0, dtype=bool)
+        klens = batch.key_lens[idx].astype(np.int64)
+
+        # group the (possibly reissued) subset by distinct key
+        sub, starts = grouping.subset(idx)
+        G = len(starts)
+        counts = np.diff(np.r_[starts, m])
+        firstj = sub[starts]  # subset position of each key's first occurrence
+        gpos = np.empty(m, dtype=np.int64)
+        gpos[sub] = np.repeat(np.arange(G), counts)
+        isfirst = np.zeros(m, dtype=bool)
+        isfirst[firstj] = True
+        gbucket = buckets[firstj]
+
+        # resolve each distinct key against its bucket's resident prefix
+        res_pos = np.full(G, -1, dtype=np.int64)  # tail position, -1 = absent
+        n0_g = np.zeros(G, dtype=np.int64)  # resident chain length
+        R_g = np.zeros(G, dtype=np.int64)  # resident full-walk bytes
+        hitbase_g = np.zeros(G, dtype=np.int64)  # resident hit-walk bytes
+        chains: dict[int, _ChainReplay] = {}
+        hit_refs: list[tuple[int, tuple]] = []
+        nonnull = head_cpu[gbucket] != NULL
+        if nonnull.any():
+            all_keys = batch.cache.key_bytes_list()
+            for gi in np.flatnonzero(nonnull).tolist():
+                b = int(gbucket[gi])
+                chain = chains.get(b)
+                if chain is None:
+                    chain = self._materialize_chain(table, int(head_cpu[b]))
+                    chains[b] = chain
+                n = len(chain.addrs)
+                n0_g[gi] = n
+                if n:
+                    R_g[gi] = chain.cum[-1]
+                t = chain.index.get(all_keys[int(idx[firstj[gi]])])
+                if t is not None:
+                    res_pos[gi] = t
+                    hitbase_g[gi] = chain.cum[-1] - chain.cum[t] + chain.costs[t]
+                    hit_refs.append((gi, chain.refs[t]))
+
+        # one optimistic allocation per distinct absent key, arrival order
+        newg = np.flatnonzero(res_pos < 0)
+        req = newg[np.argsort(firstj[newg], kind="stable")]
+        req_first = firstj[req]
+        sizes = E.entry_sizes_bulk(
+            klens[req_first], np.full(len(req), comb.value_size, np.int64)
+        )
+        rgroups = gbucket[req] // group_size
+        bulk = alloc.allocate_many(rgroups, sizes, PageKind.GENERIC)
+        okpos = np.flatnonzero(bulk.ok)
+        failpos = np.flatnonzero(~bulk.ok)
+        succ = req[okpos]  # inserted keys, arrival order
+        ins = np.zeros(G, dtype=bool)
+        ins[succ] = True
+        if len(failpos):
+            extra = int((counts[req[failpos]] - 1).sum())
+            if extra:
+                alloc.record_denied_retries(extra, rgroups[failpos])
+
+        # closed-form walk charges (see docstring)
+        ev = np.zeros(m, dtype=np.int64)
+        cv = np.zeros(m, dtype=np.int64)
+        succ_first = firstj[succ]
+        ev[succ_first] = 1
+        cv[succ_first] = E.ENTRY_HEADER + klens[succ_first]
+        A = _segmented_exclusive_cumsum(ev, buckets)
+        S = _segmented_exclusive_cumsum(cv, buckets)
+        r_res = res_pos[gpos]
+        r_ins = ins[gpos]
+        hit_res = r_res >= 0
+        hit_new = ~hit_res & r_ins & ~isfirst
+        miss = ~hit_res & (~r_ins | isfirst)
+        n0r = n0_g[gpos]
+        probe = np.zeros(m, dtype=np.int64)
+        btv = np.zeros(m, dtype=np.int64)
+        probe[miss] = n0r[miss] + A[miss]
+        btv[miss] = R_g[gpos][miss] + S[miss]
+        if hit_new.any():
+            Af = A[firstj][gpos]
+            Sf = S[firstj][gpos]
+            probe[hit_new] = A[hit_new] - Af[hit_new]
+            btv[hit_new] = S[hit_new] - Sf[hit_new]
+        if hit_res.any():
+            probe[hit_res] = n0r[hit_res] + A[hit_res] - r_res[hit_res]
+            btv[hit_res] = hitbase_g[gpos][hit_res] + S[hit_res]
+
+        n_hits = int(hit_res.sum()) + int(hit_new.sum())
+        n_miss = m - n_hits
+        n_post = int((~hit_res & ~r_ins).sum())
+        tally.attempted += m
+        tally.succeeded += m - n_post
+        tally.postponed += n_post
+        tally.probe_steps += int(probe.sum())
+        tally.bytes_touched += (
+            int(btv.sum())
+            + 2 * comb.value_size * n_hits
+            + int((sizes[okpos] + 16).sum())
+        )
+        # integer-valued floats (supports_vector_reduce guarantees integer
+        # comb.cycles), so any summation order matches the scalar path
+        tally.table_cycles += float(
+            HASH_CYCLES_PER_BYTE * int(klens.sum())
+            + comb.cycles * n_hits
+            + INSERT_CYCLES * n_miss
+        )
+        tally.alloc_groups.extend(rgroups[okpos].tolist())
+
+        # pre-aggregate duplicate values per distinct key (arrival order)
+        red = comb.reduce_batch(batch.numeric_values[idx][sub], starts)
+
+        # scatter-write the new entries + grouped last-writer-wins heads
+        if len(succ):
+            sfj = firstj[succ]
+            order2 = np.argsort(buckets[sfj], kind="stable")
+            sel_g = succ[order2]
+            bs = buckets[sfj][order2]
+            gaddr = bulk.gpu_addr[okpos][order2]
+            caddr = bulk.cpu_addr[okpos][order2]
+            first = np.r_[True, bs[1:] != bs[:-1]]
+            next_gpu = np.where(first, head_gpu[bs], np.r_[NULL, gaddr[:-1]])
+            next_cpu = np.where(first, head_cpu[bs], np.r_[NULL, caddr[:-1]])
+            last = np.r_[first[1:], True]
+            head_gpu[bs[last]] = gaddr[last]
+            head_cpu[bs[last]] = caddr[last]
+            rec = idx[sfj][order2]
+            pos = bulk.slot[okpos][order2] * page_size + bulk.offset[okpos][order2]
+            vdtype = comb.dtype.newbyteorder("<")
+            valmat = (
+                red[sel_g].astype(vdtype).view(np.uint8)
+                .reshape(len(succ), comb.value_size)
+            )
+            E.write_entries_bulk(
+                heap.pool.arena, pos, next_gpu, next_cpu,
+                batch.keys[rec], batch.key_lens[rec].astype(np.int64),
+                valmat, np.full(len(succ), comb.value_size, np.int64),
+            )
+
+        # one in-place combine per resident hit key
+        if hit_refs:
+            fmt = comb.fmt
+            for gi, (buf, off, klen) in hit_refs:
+                vo = off + E.ENTRY_HEADER + klen
+                stored = fmt.unpack_from(buf, vo)[0]
+                fmt.pack_into(buf, vo, comb.combine(stored, int(red[gi])))
+
+        return hit_res | r_ins
+
+    def _insert_replay(self, table, batch, idx, buckets, tally):
+        """Per-record combining insert with memoized chain walks.
+
+        Each touched bucket's resident chain is materialized once per
+        batch; every record then resolves its key in O(1) while charging
+        exactly the probe steps and bytes the real walk would.  Allocation,
+        packing, and in-place combines are unchanged.  Kept as the exact
+        path for traced runs and pre-aggregation fallbacks.
+        """
         heap = table.heap
         alloc = table.alloc
         head_gpu = table.buckets.head_gpu
@@ -464,10 +691,11 @@ class CombiningOrganization(Organization):
                 stored = fmt.unpack_from(buf, vo)[0]
                 fmt.pack_into(buf, vo, comb.combine(stored, v))
                 tally.table_cycles += comb.cycles
-                tally.bytes_touched += 16
+                # read + write of the stored scalar, at its actual width
+                tally.bytes_touched += 2 * comb.value_size
                 tally.succeeded += 1
                 if trace is not None:
-                    trace.on_access(int(head_cpu[b]), 8)
+                    trace.on_access(int(head_cpu[b]), comb.value_size)
                 success[j] = True
                 continue
             size = E.entry_size(len(key), comb.value_size)
@@ -530,10 +758,11 @@ class CombiningOrganization(Organization):
                 stored = fmt.unpack_from(buf, vo)[0]
                 fmt.pack_into(buf, vo, comb.combine(stored, v))
                 tally.table_cycles += comb.cycles
-                tally.bytes_touched += 16
+                # read + write of the stored scalar, at its actual width
+                tally.bytes_touched += 2 * comb.value_size
                 tally.succeeded += 1
                 if trace is not None:
-                    trace.on_access(int(head_cpu[b]), 8)
+                    trace.on_access(int(head_cpu[b]), comb.value_size)
                 success[j] = True
                 continue
             size = E.entry_size(len(key), comb.value_size)
@@ -689,14 +918,236 @@ class MultiValuedOrganization(Organization):
         return chain
 
     def _insert_vectorized(self, table, batch, idx, buckets, tally):
-        """Batched multi-valued insert: key lookups become chain replays.
+        """Batched multi-valued insert via in-batch pre-aggregation.
 
-        Key-entry chains are materialized once per touched bucket; pending
-        flags, value-node appends, and page pinning are unchanged from the
-        scalar reference.
+        Records are grouped by distinct key; each distinct key performs one
+        chain probe, new key entries and all value nodes are bulk-allocated
+        in one mixed-kind :meth:`allocate_many` call (KEY and VALUE requests
+        interleaved in arrival order, so pages leave the shared pool exactly
+        as the sequential walk would take them), value chains are linked with
+        grouped scatters, and each key's value-list head is written once.
+
+        The fast path only engages when a read-only allocator pre-flight
+        (:meth:`~repro.memalloc.allocator.BucketGroupAllocator.plan_pages_needed`)
+        proves every allocation will succeed; under pool pressure -- where
+        per-record KEY/VALUE outcomes feed back into later requests -- the
+        replay walk handles postponement exactly.  Traced runs and hash
+        collisions also fall back.
         """
         if batch.values is None:
             raise ValueError("the multi-valued method requires byte values")
+        grouping = batch.cache.grouping(table.buckets)
+        if table.trace is None and not grouping.has_collision:
+            result = self._insert_preagg(table, batch, idx, buckets, tally,
+                                         grouping)
+            if result is not None:
+                return result
+        return self._insert_replay(table, batch, idx, buckets, tally)
+
+    def _insert_preagg(self, table, batch, idx, buckets, tally, grouping):
+        """No-postponement fast path; returns None when it does not apply.
+
+        Mutates nothing before the pre-flight decision: the request plan
+        (one KEY allocation per distinct absent key at its first
+        occurrence, one VALUE allocation per record, interleaved in arrival
+        order) is built up front, and only executed when the planner proves
+        the pool can serve it all.  Walk charges use the same closed forms
+        as the combining kernel, with key-entry header costs.
+        """
+        heap = table.heap
+        alloc = table.alloc
+        page_size = heap.page_size
+        head_gpu = table.buckets.head_gpu
+        head_cpu = table.buckets.head_cpu
+        group_size = table.buckets.group_size
+        m = len(idx)
+        if m == 0:
+            return np.zeros(0, dtype=bool)
+        klens = batch.key_lens[idx].astype(np.int64)
+        vlens = batch.val_lens[idx].astype(np.int64)
+        vsizes = E.value_node_sizes_bulk(vlens)
+        ksizes = E.key_entry_sizes_bulk(klens)
+        if int(vsizes.max()) > page_size or int(ksizes.max()) > page_size:
+            return None  # replay reproduces the scalar path's ValueError
+
+        sub, starts = grouping.subset(idx)
+        G = len(starts)
+        counts = np.diff(np.r_[starts, m])
+        firstj = sub[starts]
+        gpos = np.empty(m, dtype=np.int64)
+        gpos[sub] = np.repeat(np.arange(G), counts)
+        isfirst = np.zeros(m, dtype=bool)
+        isfirst[firstj] = True
+        gbucket = buckets[firstj]
+
+        # resolve each distinct key against its bucket's resident prefix
+        res_pos = np.full(G, -1, dtype=np.int64)
+        n0_g = np.zeros(G, dtype=np.int64)
+        R_g = np.zeros(G, dtype=np.int64)
+        hitbase_g = np.zeros(G, dtype=np.int64)
+        res_ref: list = [None] * G
+        chains: dict[int, _ChainReplay] = {}
+        nonnull = head_cpu[gbucket] != NULL
+        if nonnull.any():
+            all_keys = batch.cache.key_bytes_list()
+            for gi in np.flatnonzero(nonnull).tolist():
+                b = int(gbucket[gi])
+                chain = chains.get(b)
+                if chain is None:
+                    chain = self._materialize_keychain(table, int(head_cpu[b]))
+                    chains[b] = chain
+                n = len(chain.addrs)
+                n0_g[gi] = n
+                if n:
+                    R_g[gi] = chain.cum[-1]
+                t = chain.index.get(all_keys[int(idx[firstj[gi]])])
+                if t is not None:
+                    res_pos[gi] = t
+                    hitbase_g[gi] = chain.cum[-1] - chain.cum[t] + chain.costs[t]
+                    res_ref[gi] = chain.refs[t]
+
+        # interleaved request plan: [KEY for first occurrence of an absent
+        # key] then [VALUE] per record, in arrival order
+        newmask_g = res_pos < 0
+        isnewfirst = isfirst & newmask_g[gpos]
+        nf_rec = np.flatnonzero(isnewfirst)
+        nreq = 1 + isnewfirst.astype(np.int64)
+        rstart = np.cumsum(nreq) - nreq
+        total = m + len(nf_rec)
+        groups_rec = buckets // group_size
+        req_groups = np.repeat(groups_rec, nreq)
+        req_sizes = np.empty(total, dtype=np.int64)
+        req_codes = np.full(total, KIND_CODES[PageKind.VALUE], dtype=np.int64)
+        kslots = rstart[isnewfirst]
+        req_sizes[kslots] = ksizes[nf_rec]
+        req_codes[kslots] = KIND_CODES[PageKind.KEY]
+        vslots = rstart + nreq - 1
+        req_sizes[vslots] = vsizes
+
+        needed = alloc.plan_pages_needed(req_groups, req_sizes, kinds=req_codes)
+        if not heap.pool.can_take(needed):
+            return None  # pressure: replay handles postponement exactly
+
+        bulk = alloc.allocate_many(req_groups, req_sizes, kinds=req_codes)
+        assert bool(bulk.ok.all())  # guaranteed by the can_take pre-flight
+
+        # per-record value node placement (arrival order)
+        vgpu = bulk.gpu_addr[vslots]
+        vcpu = bulk.cpu_addr[vslots]
+        vpos = bulk.slot[vslots] * page_size + bulk.offset[vslots]
+        # per-new-key key entry placement
+        kg = gpos[nf_rec]
+        kaddr_gpu = np.full(G, NULL, dtype=np.int64)
+        kaddr_cpu = np.full(G, NULL, dtype=np.int64)
+        kpos_g = np.full(G, -1, dtype=np.int64)
+        kaddr_gpu[kg] = bulk.gpu_addr[kslots]
+        kaddr_cpu[kg] = bulk.cpu_addr[kslots]
+        kpos_g[kg] = bulk.slot[kslots] * page_size + bulk.offset[kslots]
+
+        # link each key's value chain: first node points at the existing
+        # list head (NULL for new keys), later nodes at their predecessor,
+        # and the key's head ends at the last arrival
+        hit_g = np.flatnonzero(~newmask_g)
+        head0_g = np.full(G, NULL, dtype=np.int64)
+        head0_c = np.full(G, NULL, dtype=np.int64)
+        for gi in hit_g.tolist():
+            kbuf, koff, _kseg = res_ref[gi]
+            hdr = E.read_key_entry_header(kbuf, koff)
+            head0_g[gi] = hdr[2]
+            head0_c[gi] = hdr[3]
+        vg_s = vgpu[sub]
+        vc_s = vcpu[sub]
+        fmask = np.zeros(m, dtype=bool)
+        fmask[starts] = True
+        gpos_s = np.repeat(np.arange(G), counts)
+        vnext_g_s = np.where(fmask, head0_g[gpos_s], np.r_[NULL, vg_s[:-1]])
+        vnext_c_s = np.where(fmask, head0_c[gpos_s], np.r_[NULL, vc_s[:-1]])
+        lastpos = starts + counts - 1
+        vfinal_g = vg_s[lastpos]
+        vfinal_c = vc_s[lastpos]
+        vnext_g = np.empty(m, dtype=np.int64)
+        vnext_c = np.empty(m, dtype=np.int64)
+        vnext_g[sub] = vnext_g_s
+        vnext_c[sub] = vnext_c_s
+        E.write_value_nodes_bulk(
+            heap.pool.arena, vpos, vnext_g, vnext_c, batch.values[idx], vlens
+        )
+
+        # new key entries: grouped last-writer-wins bucket heads, final
+        # value-list head written with the entry itself
+        if len(nf_rec):
+            nk = kg  # groups in arrival order of their creation
+            order2 = np.argsort(gbucket[nk], kind="stable")
+            sel = nk[order2]
+            bs = gbucket[sel]
+            gaddr = kaddr_gpu[sel]
+            caddr = kaddr_cpu[sel]
+            first = np.r_[True, bs[1:] != bs[:-1]]
+            nxt_g = np.where(first, head_gpu[bs], np.r_[NULL, gaddr[:-1]])
+            nxt_c = np.where(first, head_cpu[bs], np.r_[NULL, caddr[:-1]])
+            last = np.r_[first[1:], True]
+            head_gpu[bs[last]] = gaddr[last]
+            head_cpu[bs[last]] = caddr[last]
+            rec = idx[firstj[sel]]
+            E.write_key_entries_bulk(
+                heap.pool.arena, kpos_g[sel], nxt_g, nxt_c,
+                vfinal_g[sel], vfinal_c[sel],
+                batch.keys[rec], batch.key_lens[rec].astype(np.int64),
+            )
+
+        # resident hit keys: rewrite the value-list head once, un-pin
+        for gi in hit_g.tolist():
+            kbuf, koff, kseg = res_ref[gi]
+            E.set_vhead(kbuf, koff, int(vfinal_g[gi]), int(vfinal_c[gi]))
+            self._clear_pending(table, kbuf, kseg, koff)
+
+        # closed-form walk charges (key-entry header costs)
+        ev = np.zeros(m, dtype=np.int64)
+        cv = np.zeros(m, dtype=np.int64)
+        ev[nf_rec] = 1
+        cv[nf_rec] = E.KEY_ENTRY_HEADER + klens[nf_rec]
+        A = _segmented_exclusive_cumsum(ev, buckets)
+        S = _segmented_exclusive_cumsum(cv, buckets)
+        hit_res = res_pos[gpos] >= 0
+        hit_new = ~hit_res & ~isfirst
+        miss = isnewfirst
+        n0r = n0_g[gpos]
+        probe = np.zeros(m, dtype=np.int64)
+        btv = np.zeros(m, dtype=np.int64)
+        probe[miss] = n0r[miss] + A[miss]
+        btv[miss] = R_g[gpos][miss] + S[miss]
+        if hit_new.any():
+            Af = A[firstj][gpos]
+            Sf = S[firstj][gpos]
+            probe[hit_new] = A[hit_new] - Af[hit_new]
+            btv[hit_new] = S[hit_new] - Sf[hit_new]
+        if hit_res.any():
+            probe[hit_res] = (
+                n0r[hit_res] + A[hit_res] - res_pos[gpos][hit_res]
+            )
+            btv[hit_res] = hitbase_g[gpos][hit_res] + S[hit_res]
+        tally.attempted += m
+        tally.succeeded += m
+        tally.table_cycles += float(
+            HASH_CYCLES_PER_BYTE * int(klens.sum()) + INSERT_CYCLES * m
+        )
+        tally.probe_steps += int(probe.sum())
+        tally.bytes_touched += (
+            int(btv.sum())
+            + int((vsizes + 16).sum())
+            + int((ksizes[nf_rec] + 16).sum())
+        )
+        tally.alloc_groups.extend(req_groups.tolist())
+        return np.ones(m, dtype=bool)
+
+    def _insert_replay(self, table, batch, idx, buckets, tally):
+        """Per-record multi-valued insert with memoized key-chain walks.
+
+        Key-entry chains are materialized once per touched bucket; pending
+        flags, value-node appends, and page pinning are unchanged from the
+        scalar reference.  Kept as the exact path for traced runs and for
+        batches the no-postponement pre-flight rejects.
+        """
         heap = table.heap
         alloc = table.alloc
         head_gpu = table.buckets.head_gpu

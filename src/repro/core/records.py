@@ -20,7 +20,58 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.buckets import BucketArray
 
-__all__ = ["BatchCache", "RecordBatch", "pack_str_keys", "pack_byte_rows"]
+__all__ = [
+    "BatchCache",
+    "BatchGrouping",
+    "RecordBatch",
+    "pack_str_keys",
+    "pack_byte_rows",
+]
+
+
+@dataclass(frozen=True)
+class BatchGrouping:
+    """Duplicate-key grouping of one batch for one table's bucket count.
+
+    The pre-aggregated insert kernels need every record of the same key to
+    land in one segment so a ``ufunc.reduceat`` can combine duplicates
+    in-batch before the table is touched.  Groups are keyed on (bucket id,
+    64-bit hash) with a byte-exact key verification pass: if two records
+    share a (bucket, hash) pair but differ in key bytes -- a genuine 64-bit
+    FNV-1a collision -- :attr:`has_collision` is set and callers must fall
+    back to the scalar-faithful replay walk, which compares full keys.
+
+    Group ids are assigned in (bucket, hash, arrival) order; within a group
+    records keep arrival order, which is what makes segmented reductions
+    match the scalar left-to-right combine sequence.
+    """
+
+    #: (n,) int64 -- key-group id per record
+    gid: np.ndarray
+    #: (G,) int64 -- first-arrival record index per group
+    rep: np.ndarray
+    n_groups: int
+    #: a 64-bit hash collision was detected; grouping is unusable
+    has_collision: bool
+
+    def subset(self, idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Re-group a (possibly reissued) subset of record indices.
+
+        Returns ``(order, starts)``: ``order`` permutes subset *positions*
+        group-major while preserving arrival order inside each group, and
+        ``starts`` are the segment start offsets into the ordered subset
+        (directly usable as ``reduceat`` bounds).  Cost is one O(m log m)
+        lexsort over the cached group ids -- reissued SEPO subsets never
+        re-hash or re-compare keys.
+        """
+        m = len(idx)
+        if m == 0:
+            return np.empty(0, np.int64), np.empty(0, np.int64)
+        g = self.gid[idx]
+        order = np.lexsort((np.arange(m), g))
+        sg = g[order]
+        starts = np.flatnonzero(np.r_[True, sg[1:] != sg[:-1]])
+        return order, starts
 
 
 class BatchCache:
@@ -44,6 +95,7 @@ class BatchCache:
         self._keys: list[bytes] | None = None
         self._values: list[bytes] | None = None
         self._numeric: list | None = None
+        self._groupings: dict[int, BatchGrouping] = {}
 
     def hashes(self) -> np.ndarray:
         """Full-batch FNV-1a hashes, computed once."""
@@ -62,6 +114,44 @@ class BatchCache:
             cached = buckets.bucket_of_hash(self.hashes()).astype(np.int64)
             self._bucket_ids[buckets.n_buckets] = cached
         return cached
+
+    def grouping(self, buckets: "BucketArray") -> BatchGrouping:
+        """Full-batch duplicate-key grouping, memoized per bucket count."""
+        cached = self._groupings.get(buckets.n_buckets)
+        if cached is None:
+            cached = self._build_grouping(buckets)
+            self._groupings[buckets.n_buckets] = cached
+        return cached
+
+    def _build_grouping(self, buckets: "BucketArray") -> BatchGrouping:
+        b = self._batch
+        bids = self.bucket_ids(buckets)
+        h = self.hashes()
+        n = len(bids)
+        if n == 0:
+            empty = np.empty(0, np.int64)
+            return BatchGrouping(empty, empty, 0, False)
+        order = np.lexsort((np.arange(n), h, bids))
+        sb, sh = bids[order], h[order]
+        same = (sb[1:] == sb[:-1]) & (sh[1:] == sh[:-1])
+        has_collision = False
+        cand = np.flatnonzero(same)
+        if len(cand):
+            # Same (bucket, hash) neighbours must share key bytes; rows are
+            # zero-padded so equal keys imply equal rows and equal lengths.
+            a, p = order[cand + 1], order[cand]
+            eq = b.key_lens[a] == b.key_lens[p]
+            if b.keys.shape[1]:
+                eq &= (b.keys[a] == b.keys[p]).all(axis=1)
+            if not eq.all():
+                has_collision = True
+                same = same.copy()
+                same[cand[~eq]] = False
+        boundary = np.r_[True, ~same]
+        gid = np.empty(n, dtype=np.int64)
+        gid[order] = np.cumsum(boundary) - 1
+        rep = order[boundary]
+        return BatchGrouping(gid, rep, len(rep), has_collision)
 
     def key_bytes_list(self) -> list[bytes]:
         """All keys as exact-length ``bytes``, computed once."""

@@ -118,6 +118,13 @@ class RunState:
     #: chunks whose BatchCache has been released (hashes, bucket ids and
     #: byte materializations are only worth keeping while reissues loom)
     released: list[bool] = field(default_factory=list)
+    #: chunk indices that may still hold pending records.  A per-pass skip
+    #: list: late SEPO iterations typically reissue postponed subsets from a
+    #: few chunks, and pruning finished chunks here means a pass costs
+    #: O(active chunks), not O(all chunks).  Derived state -- ``None`` means
+    #: "rebuild from the bitmap", which is how a journal restore (which only
+    #: persists the bitmap) re-synchronizes it.
+    active: list[int] | None = None
 
 
 @dataclass
@@ -189,14 +196,20 @@ class SepoDriver:
         ledger = self.table.ledger
         rec = IterationRecord(index=state.iteration)
         self.pipeline.begin_pass()
-        for ci, (batch, start) in enumerate(zip(batches, state.starts)):
+        if state.active is None:
+            state.active = list(range(len(batches)))
+        still_active: list[int] = []
+        for ai, ci in enumerate(state.active):
+            batch, start = batches[ci], state.starts[ci]
             pending = state.bitmap.pending_in(int(start), int(start) + len(batch))
             if pending.size == 0:
-                # fully processed chunk: not re-streamed, cache released
+                # fully processed chunk: not re-streamed, cache released,
+                # and dropped from the skip list for good
                 if not state.released[ci]:
                     batch.invalidate_cache()
                     state.released[ci] = True
                 continue
+            still_active.append(ci)
             if limit is not None and pending.size > limit:
                 pending = pending[:limit]
             local = pending - int(start)
@@ -212,7 +225,10 @@ class SepoDriver:
             rec.postponed += result.n_postponed
             if self.table.should_halt():
                 rec.halted_early = True
+                # unvisited chunks stay active for the next pass
+                still_active.extend(state.active[ai + 1:])
                 break
+        state.active = still_active
         return rec
 
     def finish_iteration(self, state: RunState, rec: IterationRecord):

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.memalloc.heap import GpuHeap
-from repro.memalloc.pages import Page, PageKind
+from repro.memalloc.pages import KIND_BY_CODE, Page, PageKind
 
 __all__ = ["AllocationStats", "BucketGroupAllocator", "BulkAllocation"]
 
@@ -111,6 +111,7 @@ class BucketGroupAllocator:
         sizes: np.ndarray,
         kind: PageKind = PageKind.GENERIC,
         sorted_order: np.ndarray | None = None,
+        kinds: np.ndarray | None = None,
     ) -> BulkAllocation:
         """Bulk equivalent of calling :meth:`allocate` once per request.
 
@@ -128,6 +129,14 @@ class BucketGroupAllocator:
         argsort of ``groups``.  It must preserve arrival order within each
         group -- page-fill boundaries depend on it -- so an argsort by
         bucket id does *not* qualify even though it groups correctly.
+
+        ``kinds`` optionally gives a per-request page kind as an int64 array
+        of :data:`repro.memalloc.pages.KIND_CODES` codes; the multi-valued
+        organization interleaves KEY and VALUE requests in one call so fresh
+        pages are pulled from the shared pool in exactly the order the
+        sequential walk would pull them.  When set, ``kind`` is ignored and
+        ``sorted_order`` (if given) must be a stable sort of the
+        (group, kind) pairs.
         """
         groups = np.asarray(groups, dtype=np.int64)
         sizes = np.asarray(sizes, dtype=np.int64)
@@ -142,65 +151,15 @@ class BucketGroupAllocator:
         if n == 0:
             addr = np.full(0, -1, dtype=np.int64)
             return BulkAllocation(ok, slot, segment, offset, addr, addr.copy())
-        if int(groups.min()) < 0 or int(groups.max()) >= self.n_groups:
-            raise ValueError("a group index is out of range")
-        if int(sizes.min()) <= 0:
-            raise ValueError("allocation sizes must be positive")
-        if int(sizes.max()) > page_size:
-            raise ValueError(
-                f"an allocation exceeds the page size {page_size}"
-            )
+        codes, composite = self._validate_bulk(groups, sizes, kinds)
 
         if sorted_order is None:
-            order = np.argsort(groups, kind="stable")
+            order = np.argsort(composite, kind="stable")
         else:
             order = sorted_order
-        sorted_groups = groups[order]
-        run_starts = np.flatnonzero(
-            np.r_[True, sorted_groups[1:] != sorted_groups[:-1]]
-        ).tolist()
-        run_ends = run_starts[1:] + [n]
 
-        # Phase A: plan every group's bump allocation assuming the pool is
-        # infinite.  A "span" is a maximal run of requests served by one
-        # page; a span opening a fresh page records the request index that
-        # triggers the page take, so pages can later be granted in the
-        # exact order the sequential path would take them.  One global
-        # cumulative sum (in group-sorted order) serves every group's
-        # bump-pointer arithmetic; page boundaries are binary searches.
-        sorted_sizes = sizes[order]
-        c = np.cumsum(sorted_sizes)
-        spans = []  # [positions, offsets, Page | None (fresh, ungranted), group]
-        triggers = []  # (triggering request index, span)
-        searchsorted = np.searchsorted
-        for s0, s1 in zip(run_starts, run_ends):
-            g = int(sorted_groups[s0])
-            page = self._current.get((g, kind))
-            cur_used = page.used if page is not None else page_size
-            i0 = s0
-            consumed = int(c[s0 - 1]) if s0 else 0
-            while i0 < s1:
-                free = page_size - cur_used
-                k = min(int(searchsorted(c, consumed + free, "right")), s1)
-                if k == i0:  # next request needs a fresh page
-                    span = [None, None, None, g]
-                    triggers.append((int(order[i0]), span))
-                    spans.append(span)
-                    cur_used = 0
-                    k = min(
-                        int(searchsorted(c, consumed + page_size, "right")), s1
-                    )
-                    span[0] = order[i0:k]
-                    span[1] = c[i0:k] - sorted_sizes[i0:k] - consumed
-                else:
-                    spans.append(
-                        [order[i0:k],
-                         cur_used + (c[i0:k] - sorted_sizes[i0:k] - consumed),
-                         page, g]
-                    )
-                cur_used += int(c[k - 1] - consumed)
-                consumed = int(c[k - 1])
-                i0 = k
+        spans, triggers = self._plan_spans(order, composite, groups, sizes,
+                                           codes, kind)
 
         # Phase B: grant fresh pages in trigger order.  When the pool runs
         # out, the remaining spans' requests are replayed through the
@@ -209,19 +168,24 @@ class BucketGroupAllocator:
         triggers.sort(key=lambda t: t[0])
         grantable = min(len(triggers), self.heap.pool.n_free)
         for _, span in triggers[:grantable]:
-            fresh = self.heap.alloc_page(kind, span[3])
-            assert fresh is not None
+            fresh = self.heap.alloc_page(span[4], span[3])
+            if fresh is None:
+                # fault injection can deny page grants even while n_free
+                # looks healthy; the remaining spans drop to the scalar
+                # fallback, which re-attempts (and re-observes the denial)
+                # request by request exactly like the sequential path.
+                break
             self.stats.pages_taken += 1
             span[2] = fresh
 
         fallback: list[int] = []
-        for pos, offs, page, g in spans:
+        for pos, offs, page, g, k in spans:
             if page is None:  # fresh page the pool could not provide
                 fallback.extend(pos.tolist())
                 continue
             last = len(pos) - 1
             page.used = int(offs[last]) + int(sizes[pos[last]])
-            self._current[(g, kind)] = page
+            self._current[(g, k)] = page
             ok[pos] = True
             slot[pos] = page.slot
             segment[pos] = page.segment
@@ -229,7 +193,8 @@ class BucketGroupAllocator:
             self.stats.requests += len(pos)
             self.stats.bytes_allocated += int(sizes[pos].sum())
         for p in sorted(fallback):
-            a = self.allocate(int(groups[p]), int(sizes[p]), kind)
+            k = kind if codes is None else KIND_BY_CODE[int(codes[p])]
+            a = self.allocate(int(groups[p]), int(sizes[p]), k)
             if a is not None:
                 ok[p] = True
                 slot[p] = a.page.slot
@@ -239,6 +204,142 @@ class BucketGroupAllocator:
         cpu_addr = np.where(ok, segment * page_size + offset, -1)
         gpu_addr = np.where(ok, slot * page_size + offset, -1)
         return BulkAllocation(ok, slot, segment, offset, cpu_addr, gpu_addr)
+
+    def _validate_bulk(
+        self,
+        groups: np.ndarray,
+        sizes: np.ndarray,
+        kinds: np.ndarray | None,
+    ) -> tuple[np.ndarray | None, np.ndarray]:
+        """Shared request validation; returns (codes, composite run key)."""
+        if int(groups.min()) < 0 or int(groups.max()) >= self.n_groups:
+            raise ValueError("a group index is out of range")
+        if int(sizes.min()) <= 0:
+            raise ValueError("allocation sizes must be positive")
+        if int(sizes.max()) > self.heap.page_size:
+            raise ValueError(
+                f"an allocation exceeds the page size {self.heap.page_size}"
+            )
+        if kinds is None:
+            return None, groups
+        codes = np.asarray(kinds, dtype=np.int64)
+        if codes.shape != groups.shape:
+            raise ValueError("kinds must match groups in length")
+        if len(codes) and (
+            int(codes.min()) < 0 or int(codes.max()) >= len(KIND_BY_CODE)
+        ):
+            raise ValueError("a kind code is out of range")
+        return codes, groups * len(KIND_BY_CODE) + codes
+
+    def _plan_spans(
+        self,
+        order: np.ndarray,
+        composite: np.ndarray,
+        groups: np.ndarray,
+        sizes: np.ndarray,
+        codes: np.ndarray | None,
+        kind: PageKind,
+    ) -> tuple[list, list]:
+        """Phase A: plan every (group, kind) run's bump allocation assuming
+        the pool is infinite.  Read-only with respect to allocator and heap
+        state.
+
+        A "span" is a maximal run of requests served by one page; a span
+        opening a fresh page records the request index that triggers the
+        page take, so pages can later be granted in the exact order the
+        sequential path would take them.  One global cumulative sum (in
+        run-sorted order) serves every run's bump-pointer arithmetic; page
+        boundaries are binary searches.
+        """
+        page_size = self.heap.page_size
+        n = len(order)
+        sorted_comp = composite[order]
+        run_starts = np.flatnonzero(
+            np.r_[True, sorted_comp[1:] != sorted_comp[:-1]]
+        ).tolist()
+        run_ends = run_starts[1:] + [n]
+        sorted_sizes = sizes[order]
+        c = np.cumsum(sorted_sizes)
+        spans = []  # [positions, offsets, Page | None (fresh), group, kind]
+        triggers = []  # (triggering request index, span)
+        searchsorted = np.searchsorted
+        for s0, s1 in zip(run_starts, run_ends):
+            g = int(groups[order[s0]])
+            kk = kind if codes is None else KIND_BY_CODE[int(codes[order[s0]])]
+            page = self._current.get((g, kk))
+            cur_used = page.used if page is not None else page_size
+            i0 = s0
+            consumed = int(c[s0 - 1]) if s0 else 0
+            while i0 < s1:
+                free = page_size - cur_used
+                j = min(int(searchsorted(c, consumed + free, "right")), s1)
+                if j == i0:  # next request needs a fresh page
+                    span = [None, None, None, g, kk]
+                    triggers.append((int(order[i0]), span))
+                    spans.append(span)
+                    cur_used = 0
+                    j = min(
+                        int(searchsorted(c, consumed + page_size, "right")), s1
+                    )
+                    span[0] = order[i0:j]
+                    span[1] = c[i0:j] - sorted_sizes[i0:j] - consumed
+                else:
+                    spans.append(
+                        [order[i0:j],
+                         cur_used + (c[i0:j] - sorted_sizes[i0:j] - consumed),
+                         page, g, kk]
+                    )
+                cur_used += int(c[j - 1] - consumed)
+                consumed = int(c[j - 1])
+                i0 = j
+        return spans, triggers
+
+    def plan_pages_needed(
+        self,
+        groups: np.ndarray,
+        sizes: np.ndarray,
+        kind: PageKind = PageKind.GENERIC,
+        kinds: np.ndarray | None = None,
+    ) -> int:
+        """Fresh pages a failure-free sequential run of these requests takes.
+
+        Read-only: neither the pool nor any current page is touched.  When
+        the result is ``<= heap.pool.n_free``, a subsequent
+        :meth:`allocate_many` of the very same requests is guaranteed to
+        succeed on every request -- the pre-aggregated multi-valued kernel
+        uses this pre-flight to decide whether the no-postponement fast path
+        applies before mutating anything.
+        """
+        groups = np.asarray(groups, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if sizes.shape != groups.shape:
+            raise ValueError("groups and sizes must have matching lengths")
+        if len(groups) == 0:
+            return 0
+        codes, composite = self._validate_bulk(groups, sizes, kinds)
+        order = np.argsort(composite, kind="stable")
+        _, triggers = self._plan_spans(order, composite, groups, sizes,
+                                       codes, kind)
+        return len(triggers)
+
+    def record_denied_retries(self, count: int, groups=None) -> None:
+        """Account ``count`` requests a batched kernel proved would be denied.
+
+        Within one iteration a failed allocation mutates nothing except the
+        request/postpone counters and the sticky failure set: the pool never
+        refills mid-iteration and a group's current page only fills further,
+        so once a request of some size fails for a (group, kind), every
+        later same-or-larger request there fails too.  The scalar reference
+        walk issues those doomed repeat requests for real; pre-aggregated
+        kernels skip the walk but must keep the allocator's counters
+        identical, which this records arithmetically.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.stats.requests += count
+        self.stats.postponed += count
+        if groups is not None:
+            self._failed_groups.update(int(g) for g in np.unique(groups))
 
     # ------------------------------------------------------------------
     @property

@@ -19,7 +19,7 @@ from enum import Enum
 
 import numpy as np
 
-__all__ = ["Page", "PageKind", "PagePool"]
+__all__ = ["Page", "PageKind", "PagePool", "KIND_CODES", "KIND_BY_CODE"]
 
 
 class PageKind(Enum):
@@ -28,6 +28,12 @@ class PageKind(Enum):
     GENERIC = "generic"  # basic & combining methods: keys and values together
     KEY = "key"  # multi-valued method: key entries
     VALUE = "value"  # multi-valued method: value-list nodes
+
+
+#: Stable integer codes for per-request kind arrays in bulk allocation
+#: (numpy arrays cannot hold PageKind members without object dtype).
+KIND_CODES = {PageKind.GENERIC: 0, PageKind.KEY: 1, PageKind.VALUE: 2}
+KIND_BY_CODE = (PageKind.GENERIC, PageKind.KEY, PageKind.VALUE)
 
 
 @dataclass
@@ -106,6 +112,27 @@ class PagePool:
         start = slot * self.page_size
         self.arena[start : start + self.page_size] = 0
         return slot
+
+    def can_take(self, k: int) -> bool:
+        """Probe whether ``k`` successive takes would succeed, without
+        observably changing the pool.
+
+        Slots are taken for real and released in reverse order, restoring
+        the exact LIFO stack; zeroing free slots is invisible (their bytes
+        are garbage by contract, and a real take zeroes again).  Going
+        through :meth:`take` matters: fault injectors that deny takes while
+        ``n_free`` still looks healthy are detected, which the pre-flight
+        of the no-postponement insert kernels relies on.
+        """
+        taken = []
+        while len(taken) < k:
+            s = self.take()
+            if s is None:
+                break
+            taken.append(s)
+        for s in reversed(taken):
+            self.release(s)
+        return len(taken) == k
 
     def release(self, slot: int) -> None:
         """Return a slot to the pool (its bytes are considered garbage)."""

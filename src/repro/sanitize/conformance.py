@@ -46,7 +46,7 @@ __all__ = [
     "main",
 ]
 
-WORKLOAD_NAMES = ("uniform", "zipf", "all-duplicates")
+WORKLOAD_NAMES = ("uniform", "zipf", "zipf105", "all-duplicates")
 
 # -- SEPO table sizing: deliberately tiny so every workload overflows the
 # -- heap and exercises postponement + eviction (the paths under test).

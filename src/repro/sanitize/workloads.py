@@ -7,6 +7,9 @@ deterministic (key, value) streams, built from a seed:
   the stream (moderate duplication, the common analytics shape),
 * ``zipf`` -- Zipf-skewed key popularity (hot keys, long chains in a few
   buckets -- the Word-Count shape from Section VI-B),
+* ``zipf105`` -- the same shape at s=1.05, the near-uniform-tail skew used
+  by the host-perf benchmark: heavy in-batch duplication without a single
+  dominating key, the regime the pre-aggregating insert kernels target,
 * ``all-duplicates`` -- a single key for every record (worst-case chain
   or combine pressure; one bucket absorbs the whole stream).
 
@@ -50,6 +53,11 @@ def _zipf(rng: np.random.Generator, n: int) -> list[bytes]:
     return [b"z%06d" % r for r in ranks]
 
 
+def _zipf105(rng: np.random.Generator, n: int) -> list[bytes]:
+    ranks = zipf_sample(rng, n, k=max(16, n // 8), s=1.05)
+    return [b"z%06d" % r for r in ranks]
+
+
 def _all_duplicates(rng: np.random.Generator, n: int) -> list[bytes]:
     return [b"the-one-key"] * n
 
@@ -58,6 +66,7 @@ def _all_duplicates(rng: np.random.Generator, n: int) -> list[bytes]:
 WORKLOADS = {
     "uniform": _uniform,
     "zipf": _zipf,
+    "zipf105": _zipf105,
     "all-duplicates": _all_duplicates,
 }
 

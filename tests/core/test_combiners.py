@@ -52,3 +52,38 @@ def test_unsupported_scalar_rejected():
 def test_combiner_is_frozen():
     with pytest.raises(AttributeError):
         SUM_I64.name = "x"  # type: ignore[misc]
+
+
+# ----------------------------------------------------------------------
+# vectorized reduce hooks (the pre-aggregating insert kernel's contract)
+# ----------------------------------------------------------------------
+def test_supports_vector_reduce_gate():
+    assert SUM_I64.supports_vector_reduce
+    assert MAX_I64.supports_vector_reduce
+    assert MIN_I64.supports_vector_reduce
+    assert BITOR_U64.supports_vector_reduce
+    # f64 excluded: float summation order is observable
+    assert not SUM_F64.supports_vector_reduce
+    # callbacks excluded: no ufunc to reduce with
+    cb = CallbackCombiner("first", "i64", lambda a, b: a)
+    assert not cb.supports_vector_reduce
+
+
+def test_reduce_batch_matches_scalar_fold():
+    vals = np.array([3, -1, 4, 1, 5, -9, 2, 6], dtype=np.int64)
+    starts = np.array([0, 3, 5], dtype=np.int64)
+    for comb in (SUM_I64, MAX_I64, MIN_I64):
+        red = comb.reduce_batch(vals, starts)
+        expected = []
+        for s, e in zip(starts, [3, 5, len(vals)]):
+            acc = int(vals[s])
+            for v in vals[s + 1:e]:
+                acc = comb.combine(acc, int(v))
+            expected.append(acc)
+        np.testing.assert_array_equal(red, np.array(expected))
+
+
+def test_reduce_batch_without_ufunc_raises():
+    cb = CallbackCombiner("first", "i64", lambda a, b: a)
+    with pytest.raises(ValueError):
+        cb.reduce_batch(np.zeros(2, np.int64), np.zeros(1, np.int64))

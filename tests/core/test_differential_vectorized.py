@@ -204,6 +204,90 @@ def test_differential_property(kind, pairs, page_size, n_pages):
     assert_identical(a, b)
 
 
+def run_sepo(kind, impl, batches_spec, make_fault=None, heap_pages=8,
+             page_size=256):
+    """Drive a full SEPO run (optionally fault-injected) to completion."""
+    from repro.core import SepoDriver
+    from repro.gpusim import CostLedger, GTX_780TI, KernelModel, PCIeBus
+
+    ledger = CostLedger()
+    heap = GpuHeap(heap_pages * page_size, page_size)
+    table = GpuHashTable(
+        32, make_org(kind, impl), heap, group_size=8, ledger=ledger,
+    )
+    driver = SepoDriver(
+        table, KernelModel(GTX_780TI, ledger), PCIeBus(ledger),
+        max_iterations=500,
+    )
+    if make_fault is not None:
+        make_fault().install(table, driver)
+    report = driver.run([make_batch(kind, k, v) for k, v in batches_spec])
+    return table, report, ledger
+
+
+def assert_sepo_identical(kind, batches_spec, make_fault=None, **kw):
+    """Full-run differential: vectorized vs scalar, same fault injected."""
+    ta, ra, la = run_sepo(kind, "vectorized", batches_spec, make_fault, **kw)
+    tb, rb, lb = run_sepo(kind, "slow_reference", batches_spec, make_fault,
+                          **kw)
+    assert ra.iterations == rb.iterations
+    for ia, ib in zip(ra.iteration_log, rb.iteration_log):
+        assert (ia.attempted, ia.succeeded, ia.postponed) == (
+            ib.attempted, ib.succeeded, ib.postponed
+        )
+        assert ia.evicted_bytes == ib.evicted_bytes
+        assert ia.pages_retained == ib.pages_retained
+    assert ra.elapsed_seconds == rb.elapsed_seconds  # simulated, bit-equal
+    assert la.breakdown() == lb.breakdown()
+    assert list(ta.cpu_items()) == list(tb.cpu_items())
+    assert ta.result() == tb.result()
+    return ra
+
+
+@pytest.mark.parametrize("kind", ORGS)
+def test_differential_postponement_restart_preagg(kind):
+    """No trace attached: the pre-aggregating kernels are live, and the
+    postponed subsets reissued across SEPO iterations must regroup to the
+    same outcome as the scalar walk."""
+    spec = [seeded_workload(21 + i, 160, 120) for i in range(2)]
+    report = assert_sepo_identical(kind, spec)
+    assert report.iterations > 1, "expected postponement restarts"
+
+
+@pytest.mark.parametrize("kind", ORGS)
+@pytest.mark.parametrize("at_batch", [1, 2])
+def test_differential_mid_iteration_eviction_fault(kind, at_batch):
+    """A forced rearrangement between batches of one iteration leaves both
+    impls inserting over evicted chain prefixes -- identically."""
+    from repro.sanitize.faults import MidIterationEviction
+
+    spec = [seeded_workload(31 + i, 120, 90) for i in range(3)]
+    assert_sepo_identical(
+        kind, spec, lambda: MidIterationEviction(at_batch=at_batch)
+    )
+
+
+@pytest.mark.parametrize("kind", ORGS)
+def test_differential_pool_exhaustion_fault(kind):
+    from repro.sanitize.faults import PoolExhaustion
+
+    spec = [seeded_workload(41 + i, 120, 90) for i in range(2)]
+    assert_sepo_identical(
+        kind, spec, lambda: PoolExhaustion(after_batches=1, deny_batches=1)
+    )
+
+
+@pytest.mark.parametrize("kind", ORGS)
+@pytest.mark.parametrize("n_distinct", [1, 3])
+def test_differential_heavy_duplication_preagg(kind, n_distinct):
+    """All-duplicates / near-all-duplicates: whole batches collapse into
+    a handful of reduceat runs, one chain probe per distinct key."""
+    rng = np.random.default_rng(5)
+    keys = [b"dup%02d" % i for i in rng.integers(0, n_distinct, size=200)]
+    values = [b"pv%03d" % i for i in range(200)]
+    assert_sepo_identical(kind, [(keys, values)], heap_pages=16)
+
+
 def test_impl_validation():
     with pytest.raises(ValueError):
         BasicOrganization(impl="warp-speed")

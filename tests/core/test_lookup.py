@@ -128,6 +128,99 @@ def test_lookup_multivalued_resident():
     assert sorted(res.values[0]) == [b"v1", b"v2"]
 
 
+def _run_lookup(impl, org_factory, make_batch, queries,
+                heap_bytes=2048, page_size=512, n_buckets=64, group_size=16):
+    """Build a fresh table deterministically and run one batched lookup."""
+    ledger = CostLedger()
+    heap = GpuHeap(heap_bytes, page_size)
+    table = GpuHashTable(
+        n_buckets, org_factory(), heap, group_size=group_size, ledger=ledger,
+    )
+    kernel = KernelModel(GTX_780TI, ledger)
+    bus = PCIeBus(ledger)
+    SepoDriver(table, kernel, bus).run([make_batch()])
+    before = ledger.elapsed
+    res = LookupDriver(table, kernel, bus, impl=impl).lookup(queries)
+    return res, ledger.elapsed - before
+
+
+@pytest.mark.parametrize("dupes", [1, 3])
+def test_lookup_vectorized_matches_scalar_combining(dupes):
+    """Bit-identical results and charges across the two probe impls,
+    including postponement/page-in behaviour on an evicted table."""
+    keys = [f"key-{i:04d}".encode() for i in range(120)]
+
+    def make_batch():
+        stream = keys * dupes
+        return RecordBatch.from_numeric(
+            stream, np.ones(len(stream), dtype=np.int64)
+        )
+
+    queries = keys + [b"absent-1", b"absent-2"]
+    ref, ref_dt = _run_lookup(
+        "slow_reference", lambda: CombiningOrganization(SUM_I64),
+        make_batch, queries,
+    )
+    vec, vec_dt = _run_lookup(
+        "vectorized", lambda: CombiningOrganization(SUM_I64),
+        make_batch, queries,
+    )
+    assert vec.values == ref.values
+    assert vec.iterations == ref.iterations
+    assert vec.postponed_total == ref.postponed_total
+    assert vec.segments_paged_in == ref.segments_paged_in
+    assert vec.iteration_postponed == ref.iteration_postponed
+    assert vec_dt == ref_dt  # simulated clock, not wall time
+
+
+def test_lookup_vectorized_matches_scalar_basic():
+    pairs = [(f"k{i % 25}".encode(), f"v{i:03d}".encode())
+             for i in range(100)]
+    queries = [f"k{i}".encode() for i in range(25)] + [b"missing"]
+    ref, ref_dt = _run_lookup(
+        "slow_reference", BasicOrganization,
+        lambda: RecordBatch.from_pairs(pairs), queries,
+        heap_bytes=1 << 14, page_size=2048,
+    )
+    vec, vec_dt = _run_lookup(
+        "vectorized", BasicOrganization,
+        lambda: RecordBatch.from_pairs(pairs), queries,
+        heap_bytes=1 << 14, page_size=2048,
+    )
+    assert vec.values == ref.values
+    assert vec.iterations == ref.iterations
+    assert vec.postponed_total == ref.postponed_total
+    assert vec_dt == ref_dt
+
+
+def test_lookup_duplicate_queries_share_one_chain_walk():
+    """Many queries for one hot key still complete in one pass with the
+    same per-query charges as the scalar walk."""
+    keys = [b"hot"] * 8 + [b"cold"]
+    batch = RecordBatch.from_numeric(
+        [b"hot", b"cold"], np.array([5, 7], dtype=np.int64)
+    )
+    ref, ref_dt = _run_lookup(
+        "slow_reference", lambda: CombiningOrganization(SUM_I64),
+        lambda: batch, keys, heap_bytes=1 << 14, page_size=2048,
+    )
+    batch2 = RecordBatch.from_numeric(
+        [b"hot", b"cold"], np.array([5, 7], dtype=np.int64)
+    )
+    vec, vec_dt = _run_lookup(
+        "vectorized", lambda: CombiningOrganization(SUM_I64),
+        lambda: batch2, keys, heap_bytes=1 << 14, page_size=2048,
+    )
+    assert vec.values == ref.values == [5] * 8 + [7]
+    assert vec_dt == ref_dt
+
+
+def test_lookup_rejects_unknown_impl():
+    table, driver, lookups = build_table()
+    with pytest.raises(ValueError):
+        LookupDriver(table, lookups.kernel, lookups.bus, impl="gpu")
+
+
 def test_lookup_unknown_org_rejected():
     class WeirdOrg(MultiValuedOrganization.__bases__[0]):  # Organization
         kind = "weird"

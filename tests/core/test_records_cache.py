@@ -119,3 +119,69 @@ def test_cache_is_stable_identity_until_invalidated():
     assert isinstance(c, BatchCache)
     b.invalidate_cache()
     assert b.cache is not c
+
+
+# ----------------------------------------------------------------------
+# BatchGrouping: duplicate-key grouping for the pre-aggregating kernels
+# ----------------------------------------------------------------------
+def test_grouping_groups_duplicates_with_first_arrival_reps():
+    b = RecordBatch.from_pairs([
+        (b"a", b"1"), (b"b", b"2"), (b"a", b"3"),
+        (b"a", b"4"), (b"c", b"5"), (b"b", b"6"),
+    ])
+    buckets = BucketArray(16, 4)
+    g = b.cache.grouping(buckets)
+    assert not g.has_collision
+    assert g.n_groups == 3
+    assert g.gid[0] == g.gid[2] == g.gid[3]
+    assert g.gid[1] == g.gid[5]
+    assert len({int(g.gid[0]), int(g.gid[1]), int(g.gid[4])}) == 3
+    for gi in range(g.n_groups):
+        members = np.flatnonzero(g.gid == gi)
+        assert g.rep[gi] == members.min()
+    # memoized per bucket count
+    assert b.cache.grouping(buckets) is g
+    assert b.cache.grouping(BucketArray(8, 4)) is not g
+
+
+def test_grouping_subset_is_group_major_arrival_minor():
+    keys = [b"k%d" % (i % 4) for i in range(20)]
+    b = RecordBatch.from_pairs([(k, b"v") for k in keys])
+    g = b.cache.grouping(BucketArray(16, 4))
+    idx = np.array([17, 2, 9, 5, 13, 1, 6], dtype=np.int64)
+    order, starts = g.subset(idx)
+    sg = g.gid[idx][order]
+    assert (np.diff(sg) >= 0).all(), "segments must be contiguous"
+    np.testing.assert_array_equal(
+        starts, np.flatnonzero(np.r_[True, sg[1:] != sg[:-1]])
+    )
+    # within each segment, subset *positions* keep their original order
+    # (reissued SEPO subsets are ascending, so this is arrival order)
+    for s, e in zip(starts, np.r_[starts[1:], len(idx)]):
+        seg = order[s:e]
+        assert (np.diff(seg) > 0).all()
+
+
+def test_grouping_subset_empty():
+    b = RecordBatch.from_pairs([(b"a", b"1")])
+    g = b.cache.grouping(BucketArray(8, 4))
+    order, starts = g.subset(np.empty(0, dtype=np.int64))
+    assert order.size == 0 and starts.size == 0
+
+
+def test_grouping_hash_collision_sets_flag():
+    b = RecordBatch.from_pairs([(b"x", b"1"), (b"y", b"2")])
+    cache = b.cache
+    real = cache.hashes()
+    # forge a 64-bit collision between two different keys
+    cache._hashes = np.full_like(real, 12345)
+    g = cache.grouping(BucketArray(16, 4))
+    assert g.has_collision
+    # colliding records must NOT be merged into one group
+    assert g.n_groups == 2
+
+
+def test_grouping_empty_batch():
+    b = RecordBatch.from_pairs([])
+    g = b.cache.grouping(BucketArray(8, 4))
+    assert g.n_groups == 0 and not g.has_collision

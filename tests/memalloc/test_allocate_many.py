@@ -163,3 +163,92 @@ def test_fuzz_against_sequential(seed):
     bulk = a.allocate_many(groups, sizes)
     scalar = replay_scalar(b, groups, sizes)
     assert_equivalent(a, bulk, b, scalar, sizes)
+
+
+# ----------------------------------------------------------------------
+# mixed-kind requests (multi-valued: KEY + VALUE pages from one pool)
+# ----------------------------------------------------------------------
+def replay_scalar_kinds(alloc, groups, sizes, kinds):
+    return [
+        alloc.allocate(g, s, k)
+        for g, s, k in zip(groups.tolist(), sizes.tolist(), kinds)
+    ]
+
+
+def test_mixed_kinds_match_sequential():
+    from repro.memalloc.pages import KIND_CODES
+
+    a, b = make_pair(1 << 14, 512, 4)
+    kinds = [PageKind.KEY, PageKind.VALUE, PageKind.VALUE,
+             PageKind.KEY, PageKind.VALUE, PageKind.KEY]
+    groups = np.array([0, 0, 1, 1, 0, 2], dtype=np.int64)
+    sizes = np.array([48, 32, 32, 56, 40, 48], dtype=np.int64)
+    codes = np.array([KIND_CODES[k] for k in kinds], dtype=np.int64)
+    bulk = a.allocate_many(groups, sizes, kinds=codes)
+    scalar = replay_scalar_kinds(b, groups, sizes, kinds)
+    assert_equivalent(a, bulk, b, scalar, sizes)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_mixed_kinds_fuzz_against_sequential(seed):
+    from repro.memalloc.pages import KIND_BY_CODE, KIND_CODES
+
+    rng = np.random.default_rng(seed)
+    n = 60
+    groups = rng.integers(0, 3, size=n).astype(np.int64)
+    sizes = rng.integers(8, 200, size=n).astype(np.int64)
+    codes = rng.integers(0, 3, size=n).astype(np.int64)
+    kinds = [KIND_BY_CODE[c] for c in codes.tolist()]
+    # small heap: some requests must fail, stressing the fallback tail
+    a, b = make_pair(6 * 256, 256, 3)
+    bulk = a.allocate_many(groups, sizes, kinds=codes)
+    scalar = replay_scalar_kinds(b, groups, sizes, kinds)
+    assert_equivalent(a, bulk, b, scalar, sizes)
+    assert not bulk.ok.all(), "fuzz case was expected to overflow the pool"
+
+
+# ----------------------------------------------------------------------
+# read-only planning + arithmetic retry accounting (pre-agg kernels)
+# ----------------------------------------------------------------------
+def test_plan_pages_needed_is_read_only_and_exact():
+    a, b = make_pair(1 << 14, 512, 4)
+    groups = np.array([0, 0, 1, 2, 2, 2], dtype=np.int64)
+    sizes = np.array([500, 500, 100, 300, 300, 100], dtype=np.int64)
+    before = (a.stats.requests, a.heap.pool.n_free, dict(a._current))
+    needed = a.plan_pages_needed(groups, sizes)
+    assert (a.stats.requests, a.heap.pool.n_free, dict(a._current)) == before
+    bulk = a.allocate_many(groups, sizes)
+    assert bool(bulk.ok.all())
+    assert a.stats.pages_taken == needed
+
+
+def test_plan_pages_needed_mixed_kinds():
+    from repro.memalloc.pages import KIND_CODES
+
+    a, _ = make_pair(1 << 14, 512, 2)
+    groups = np.array([0, 0, 1], dtype=np.int64)
+    sizes = np.array([400, 400, 200], dtype=np.int64)
+    codes = np.array([KIND_CODES[PageKind.KEY], KIND_CODES[PageKind.VALUE],
+                      KIND_CODES[PageKind.VALUE]], dtype=np.int64)
+    needed = a.plan_pages_needed(groups, sizes, kinds=codes)
+    bulk = a.allocate_many(groups, sizes, kinds=codes)
+    assert bool(bulk.ok.all())
+    assert a.stats.pages_taken == needed == 3  # distinct (group, kind) pages
+
+
+def test_record_denied_retries_matches_scalar_repeats():
+    """A doomed duplicate re-attempt accounted arithmetically must equal
+    actually re-attempting against the exhausted pool."""
+    a, b = make_pair(512, 256, 2)  # 2 slots only
+    for alloc in (a, b):
+        assert alloc.allocate(0, 200) is not None
+        assert alloc.allocate(1, 200) is not None
+        assert alloc.allocate(0, 200) is None  # pool exhausted
+    # scalar: three more failing attempts for group 0
+    for _ in range(3):
+        assert b.allocate(0, 200) is None
+    # bulk-kernel bookkeeping: same outcome, no allocator walk
+    a.record_denied_retries(3, np.array([0], dtype=np.int64))
+    assert a.stats.requests == b.stats.requests
+    assert a.stats.postponed == b.stats.postponed
+    assert a._failed_groups == b._failed_groups

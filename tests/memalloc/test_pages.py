@@ -93,3 +93,41 @@ def test_heap_smaller_than_page_rejected():
 def test_page_size_truncation():
     pool = PagePool(1000, 256)
     assert pool.n_slots == 3
+
+
+# ----------------------------------------------------------------------
+# can_take: the no-postponement preflight probe
+# ----------------------------------------------------------------------
+def test_can_take_restores_exact_lifo_order():
+    pool = PagePool(4 * 256, 256)
+    order_before = list(pool._free_slots)
+    assert pool.can_take(3)
+    assert pool._free_slots == order_before
+    # subsequent takes hand out the same slots a fresh pool would
+    assert pool.take() == order_before[-1]
+
+
+def test_can_take_boundaries():
+    pool = PagePool(4 * 256, 256)
+    assert pool.can_take(0)
+    assert pool.can_take(4)
+    assert not pool.can_take(5)
+    assert pool.n_free == 4  # nothing leaked either way
+
+
+def test_can_take_observes_injected_denial():
+    """n_free can lie under fault injection; can_take must not."""
+    pool = PagePool(4 * 256, 256)
+    original = PagePool.take
+    calls = {"n": 0}
+
+    def denying_take(self):
+        calls["n"] += 1
+        if calls["n"] > 2:
+            return None
+        return original(self)
+
+    pool.take = denying_take.__get__(pool)
+    assert pool.n_free == 4
+    assert pool.can_take(2)
+    assert not pool.can_take(3)
