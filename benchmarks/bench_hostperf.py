@@ -15,7 +15,10 @@ the perf trajectory::
 Two key distributions are measured: ``uniform`` (every key equally likely,
 ~keyspace/1 duplication) and ``zipf`` (zipf(1.05) over a reduced keyspace,
 the heavy-duplication regime where the in-batch pre-aggregation kernels
-collapse whole runs of duplicates into one chain probe).
+collapse whole runs of duplicates into one chain probe).  A third
+``mixed-ops`` cell times interleaved insert/update/delete/lookup
+mutation batches; it is tracked but not gated, because delete and lookup
+ops force the exact replay walk on both implementations.
 
 The pytest entry points double as the CI perf smoke: every organization's
 vectorized path must beat its scalar reference by at least 2x on the
@@ -35,6 +38,11 @@ from repro.core import (
     CombiningOrganization,
     GpuHashTable,
     MultiValuedOrganization,
+    MutationBatch,
+    OP_DELETE,
+    OP_INSERT,
+    OP_LOOKUP,
+    OP_UPDATE,
     RecordBatch,
     SUM_I64,
 )
@@ -113,6 +121,48 @@ def insert_rps(kind: str, impl: str, keys, values, repeats: int = 3) -> float:
     return best
 
 
+#: op mix of the mixed-op cell (insert/update/delete/lookup); matches the
+#: differential suite's seeded streams
+MIXED_OP_P = (0.45, 0.20, 0.15, 0.20)
+
+
+def make_mixed_ops(n: int, seed: int = 42):
+    """Seeded mixed-op triples over an n/8 keyspace."""
+    rng = np.random.default_rng(seed)
+    ops = rng.choice(
+        [OP_INSERT, OP_UPDATE, OP_DELETE, OP_LOOKUP], size=n, p=MIXED_OP_P
+    )
+    ranks = rng.integers(0, max(16, n // 8), size=n)
+    return [
+        (int(op), b"key-%08d" % r, i)
+        for i, (op, r) in enumerate(zip(ops, ranks))
+    ]
+
+
+def make_mutation(kind: str, triples):
+    if kind == "combining":
+        return MutationBatch.from_ops(triples, numeric_dtype=np.int64)
+    return MutationBatch.from_ops(
+        [(op, k, b"value-%016d" % v) for op, k, v in triples]
+    )
+
+
+def mutate_rps(kind: str, impl: str, triples, repeats: int = 3) -> float:
+    """Best-of-``repeats`` ops/sec for one full mixed-op mutation batch."""
+    n = len(triples)
+    best = 0.0
+    for _ in range(repeats):
+        batch = make_mutation(kind, triples)
+        heap = GpuHeap(heap_bytes=48 << 20, page_size=64 << 10)
+        table = GpuHashTable(4096, make_org(kind, impl), heap, group_size=64)
+        t0 = time.perf_counter()
+        result = table.mutate_batch(batch)
+        dt = time.perf_counter() - t0
+        assert result.success.all(), "workload must not be postponed"
+        best = max(best, n / dt)
+    return best
+
+
 def run_suite(n: int, repeats: int = 3) -> dict:
     distributions = {}
     for dist in DISTRIBUTIONS:
@@ -127,6 +177,19 @@ def run_suite(n: int, repeats: int = 3) -> dict:
                 "speedup": round(vectorized / scalar, 2),
             }
         distributions[dist] = results
+    # mixed-op cell: tracked, not gated -- delete/lookup ops force the
+    # replay walk, so this measures the batch-cached scalar path
+    triples = make_mixed_ops(n)
+    mixed = {}
+    for kind in KINDS:
+        scalar = mutate_rps(kind, "slow_reference", triples, repeats)
+        vectorized = mutate_rps(kind, "vectorized", triples, repeats)
+        mixed[kind] = {
+            "scalar_rps": round(scalar),
+            "vectorized_rps": round(vectorized),
+            "speedup": round(vectorized / scalar, 2),
+        }
+    distributions["mixed-ops"] = mixed
     return {"n_records": n, "repeats": repeats, "distributions": distributions}
 
 
@@ -167,6 +230,17 @@ def test_vectorized_multivalued_beats_scalar_smoke():
     _smoke("multi-valued", "zipf")
 
 
+def test_mixed_ops_cell_runs():
+    """Non-gating: the mixed-op mutation cell must complete on every
+    organization under both implementations (throughput is tracked in
+    ``BENCH_hostperf.json``, not asserted -- delete/lookup ops force the
+    replay walk, so no speedup floor applies)."""
+    triples = make_mixed_ops(2048)
+    for kind in KINDS:
+        assert mutate_rps(kind, "slow_reference", triples, repeats=1) > 0
+        assert mutate_rps(kind, "vectorized", triples, repeats=1) > 0
+
+
 def test_hostperf_basic_vectorized(benchmark):
     keys, values = make_workload(SMOKE_N)
     batch = make_batch("basic", keys, values)
@@ -187,8 +261,8 @@ def test_hostperf_export_roundtrip(tmp_path):
     export(report, out)
     loaded = json.loads(out.read_text())
     assert loaded["n_records"] == 2048
-    assert set(loaded["distributions"]) == set(DISTRIBUTIONS)
-    for dist in DISTRIBUTIONS:
+    assert set(loaded["distributions"]) == set(DISTRIBUTIONS) | {"mixed-ops"}
+    for dist in (*DISTRIBUTIONS, "mixed-ops"):
         rows = loaded["distributions"][dist]
         assert set(rows) == set(KINDS)
         for row in rows.values():

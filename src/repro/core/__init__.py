@@ -13,6 +13,9 @@ Public API tour
 * :class:`~repro.core.bitmap.PendingBitmap` -- one pending bit per record.
 * :mod:`~repro.core.lookup` -- SEPO lookups over a finished table (the
   paper's "mental exercise" extension).
+* :mod:`~repro.core.mutations` -- mixed-op batches: first-class
+  delete/update/lookup with the same postponement semantics, plus the
+  dict-model oracle the differential suites compare against.
 """
 
 from repro.core.bitmap import PendingBitmap
@@ -36,6 +39,16 @@ from repro.core.combiners import (
 )
 from repro.core.hashing import fnv1a, fnv1a_batch
 from repro.core.hashtable import GpuHashTable, InsertResult
+from repro.core.mutations import (
+    MutationBatch,
+    MutationCounters,
+    OP_DELETE,
+    OP_INSERT,
+    OP_LOOKUP,
+    OP_UPDATE,
+    apply_op_to_model,
+    model_for_ops,
+)
 from repro.core.organizations import (
     BasicOrganization,
     CombiningOrganization,
@@ -73,14 +86,22 @@ __all__ = [
     "MaxCombiner",
     "MinCombiner",
     "MultiValuedOrganization",
+    "MutationBatch",
+    "MutationCounters",
     "NoProgressError",
+    "OP_DELETE",
+    "OP_INSERT",
+    "OP_LOOKUP",
+    "OP_UPDATE",
     "Organization",
     "PendingBitmap",
     "PlanEstimate",
     "RecordBatch",
     "StreamStats",
     "TableStats",
+    "apply_op_to_model",
     "collect_stats",
+    "model_for_ops",
     "plan",
     "SUM_F64",
     "SUM_I64",

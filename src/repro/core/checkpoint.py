@@ -192,26 +192,49 @@ class FrozenTable:
             ) from None
 
     def cpu_items(self) -> Iterator[tuple[bytes, Any]]:
-        """Per-entry payloads, duplicates unmerged (cf. GpuHashTable)."""
+        """Per-entry payloads, duplicates unmerged (cf. GpuHashTable).
+
+        Mutation flags resolve with the same newest-first automaton the
+        live table uses: a tombstone closes its key (older copies are
+        dead), a shadow entry yields its own payload then closes it.
+        """
         for b in np.flatnonzero(self.head_cpu != NULL):
             addr = int(self.head_cpu[b])
+            closed: set[bytes] = set()
             while addr != NULL:
                 seg, off = divmod(addr, self.page_size)
                 buf = self._buf(seg)
                 if self.organization == "multi-valued":
                     hdr = E.read_key_entry_header(buf, off)
-                    next_cpu, vhead, klen = hdr[1], hdr[3], hdr[4]
-                    yield (
-                        E.key_entry_key(buf, off, klen),
-                        self._values(vhead),
+                    next_cpu, vhead, klen, flags = (
+                        hdr[1], hdr[3], hdr[4], hdr[5]
                     )
+                    key = E.key_entry_key(buf, off, klen)
+                    # empty PENDING = allocated but unacknowledged: skip
+                    # (PENDING with values is real data; see GpuHashTable)
+                    unborn = flags & E.FLAG_PENDING and vhead == NULL
+                    if key not in closed and not unborn:
+                        if flags & E.FLAG_TOMBSTONE:
+                            closed.add(key)
+                        else:
+                            yield key, self._values(vhead)
+                            if flags & E.FLAG_SHADOW:
+                                closed.add(key)
                 else:
                     _, next_cpu, klen, vlen = E.read_entry_header(buf, off)
                     key = E.entry_key(buf, off, klen)
-                    raw = E.entry_value(buf, off, klen, vlen)
-                    yield key, (
-                        self.combiner.unpack(raw) if self.combiner else raw
-                    )
+                    if key not in closed:
+                        flags = E.entry_flags(buf, off)
+                        if flags & E.GFLAG_TOMBSTONE:
+                            closed.add(key)
+                        else:
+                            raw = E.entry_value(buf, off, klen, vlen)
+                            yield key, (
+                                self.combiner.unpack(raw)
+                                if self.combiner else raw
+                            )
+                            if flags & E.GFLAG_SHADOW:
+                                closed.add(key)
                 addr = next_cpu
 
     def _values(self, vhead: int) -> list[bytes]:
@@ -251,13 +274,25 @@ class FrozenTable:
             buf = self._buf(seg)
             if self.organization == "multi-valued":
                 hdr = E.read_key_entry_header(buf, off)
-                next_cpu, vhead, klen = hdr[1], hdr[3], hdr[4]
-                if klen == len(key) and E.key_entry_key(buf, off, klen) == key:
+                next_cpu, vhead, klen, flags = hdr[1], hdr[3], hdr[4], hdr[5]
+                if (
+                    klen == len(key)
+                    and E.key_entry_key(buf, off, klen) == key
+                    # skip empty PENDING entries: unacknowledged
+                    and not (flags & E.FLAG_PENDING and vhead == NULL)
+                ):
+                    if flags & E.FLAG_TOMBSTONE:
+                        break  # deleted: older copies are closed
                     collected.extend(self._values(vhead))
                     found = True
+                    if flags & E.FLAG_SHADOW:
+                        break  # replaces the whole older value list
             else:
                 _, next_cpu, klen, vlen = E.read_entry_header(buf, off)
                 if klen == len(key) and E.entry_key(buf, off, klen) == key:
+                    flags = E.entry_flags(buf, off)
+                    if flags & E.GFLAG_TOMBSTONE:
+                        break  # deleted: older copies are closed
                     raw = E.entry_value(buf, off, klen, vlen)
                     if self.organization == "basic":
                         collected.append(raw)
@@ -266,11 +301,17 @@ class FrozenTable:
                         v = self.combiner.unpack(raw)
                         acc = v if not found else self.combiner.combine(acc, v)
                         found = True
+                    if flags & E.GFLAG_SHADOW:
+                        break  # supersedes every older same-key entry
             addr = next_cpu
         if not found:
             return None
         if self.organization == "combining":
             return acc
+        if self.organization == "multi-valued":
+            # chain walk collects newest-first; answer oldest-first to
+            # match the dict model's append order
+            return collected[::-1]
         return collected
 
 
@@ -350,6 +391,13 @@ def snapshot_table(table: GpuHashTable) -> dict:
             stats.postponed,
             stats.pages_taken,
             stats.bytes_allocated,
+            # mutation-cycle state: a crash mid-mutation-pass must resume
+            # with the reclaim ledger and per-op counters intact, or the
+            # sanitizer's tombstone census flags the restored table.
+            table.total_mutated,
+            stats.entries_tombstoned,
+            stats.bytes_tombstoned,
+            *table.mutations.snapshot(),
         ],
         dtype=np.int64,
     )
@@ -411,7 +459,10 @@ def restore_table(table: GpuHashTable, payload: dict) -> None:
             for k, got, want in mismatches
         )
         raise CheckpointError(f"snapshot/run configuration mismatch: {detail}")
-    if heap.resident_pages or heap._store or table.total_inserted:
+    if (
+        heap.resident_pages or heap._store
+        or table.total_inserted or table.total_mutated
+    ):
         raise CheckpointError("restore target must be a fresh, empty table")
 
     table.buckets.head_cpu[:] = payload["head_cpu"]
@@ -443,6 +494,15 @@ def restore_table(table: GpuHashTable, payload: dict) -> None:
     stats.postponed = int(c[7])
     stats.pages_taken = int(c[8])
     stats.bytes_allocated = int(c[9])
+    table.total_mutated = int(c[10])
+    stats.entries_tombstoned = int(c[11])
+    stats.bytes_tombstoned = int(c[12])
+    m = table.mutations
+    (
+        m.inserts, m.updates_inplace, m.updates_entries,
+        m.deletes_inplace, m.deletes_noop, m.deletes_tombstones,
+        m.lookups, m.gate_postponed, m.value_nodes,
+    ) = (int(x) for x in c[13:22])
 
 
 def snapshot_clock(ledger) -> dict:

@@ -9,10 +9,20 @@ Generic entry (basic & combining methods -- key and value contiguous)::
 
     0   next_gpu   i64    next entry in the bucket chain
     8   next_cpu   i64
-    16  klen       u32
+    16  klen       u32    low 30 bits: key length; bit 31: TOMBSTONE,
+                          bit 30: SHADOW (mutation flags, see below)
     20  vlen       u32
     24  key bytes
     24+klen        value bytes
+
+Keys are bounded well below 2**30 bytes, so the top two bits of the
+``klen`` word carry the mutation flags without growing the header:
+``GFLAG_TOMBSTONE`` marks a logically deleted entry (the slot stays
+allocated -- reclaim is an accounting matter, see the bucket-group
+allocator) and ``GFLAG_SHADOW`` marks a replacing update whose value
+supersedes every older same-key entry further down the chain.
+:func:`read_entry_header` always returns the *masked* key length;
+callers that care about liveness read :func:`entry_flags`.
 
 Multi-valued key entry (keys on KEY pages)::
 
@@ -22,6 +32,7 @@ Multi-valued key entry (keys on KEY pages)::
     24  vhead_cpu  i64
     32  klen       u32
     36  flags      u32    bit 0: PENDING (a value insert was postponed)
+                          bit 1: TOMBSTONE   bit 2: SHADOW
     40  key bytes
 
 Value node (values on VALUE pages)::
@@ -47,6 +58,13 @@ __all__ = [
     "KEY_ENTRY_HEADER",
     "VALUE_NODE_HEADER",
     "FLAG_PENDING",
+    "FLAG_TOMBSTONE",
+    "FLAG_SHADOW",
+    "GFLAG_TOMBSTONE",
+    "GFLAG_SHADOW",
+    "GKLEN_MASK",
+    "entry_flags",
+    "set_entry_flag",
     "aligned",
     "entry_size",
     "entry_sizes_bulk",
@@ -79,6 +97,13 @@ ENTRY_HEADER = 24
 KEY_ENTRY_HEADER = 40
 VALUE_NODE_HEADER = 24
 FLAG_PENDING = 0x1
+#: multi-valued key-entry mutation flags (flags u32 at offset 36)
+FLAG_TOMBSTONE = 0x2
+FLAG_SHADOW = 0x4
+#: generic-entry mutation flags, carried in the top bits of the klen word
+GFLAG_TOMBSTONE = 1 << 31
+GFLAG_SHADOW = 1 << 30
+GKLEN_MASK = (1 << 30) - 1
 _LITTLE_ENDIAN = sys.byteorder == "little"
 
 _QQ = struct.Struct("<qq")
@@ -128,8 +153,20 @@ def write_entry(
 
 
 def read_entry_header(buf: np.ndarray, off: int) -> tuple[int, int, int, int]:
-    """Returns (next_gpu, next_cpu, klen, vlen)."""
-    return _QQII.unpack_from(buf, off)
+    """Returns (next_gpu, next_cpu, klen, vlen); klen is flag-masked."""
+    next_gpu, next_cpu, kl, vlen = _QQII.unpack_from(buf, off)
+    return next_gpu, next_cpu, kl & GKLEN_MASK, vlen
+
+
+def entry_flags(buf: np.ndarray, off: int) -> int:
+    """Mutation flag bits of a generic entry (GFLAG_TOMBSTONE|GFLAG_SHADOW)."""
+    return _I.unpack_from(buf, off + 16)[0] & ~GKLEN_MASK
+
+
+def set_entry_flag(buf: np.ndarray, off: int, flag: int) -> None:
+    """OR a mutation flag into a generic entry's klen word."""
+    kl = _I.unpack_from(buf, off + 16)[0]
+    _I.pack_into(buf, off + 16, kl | flag)
 
 
 def entry_key(buf: np.ndarray, off: int, klen: int) -> bytes:

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core import entries as E
 from repro.core.buckets import BucketArray
+from repro.core.mutations import MutationBatch, MutationCounters
 from repro.core.organizations import (
     CombiningOrganization,
     EvictionReport,
@@ -92,6 +93,10 @@ class GpuHashTable:
         self.iterations_completed = 0
         self.total_inserted = 0
         self.total_postponed = 0
+        #: acknowledged mutation-batch ops (kept out of ``total_inserted``
+        #: so the per-organization tally reconciles stay exact)
+        self.total_mutated = 0
+        self.mutations = MutationCounters()
         self.eviction_reports: list[EvictionReport] = []
 
     # ------------------------------------------------------------------
@@ -117,6 +122,45 @@ class GpuHashTable:
         success = self.org.insert_indices(self, batch, indices, bucket_ids, tally)
         stats = self._stats_from(batch, indices, bucket_ids, tally)
         self.total_inserted += tally.succeeded
+        self.total_postponed += tally.postponed
+        if self.sanitize == "paranoid":
+            self.check_invariants()
+        return InsertResult(success, stats, tally)
+
+    def apply_batch(
+        self, batch: RecordBatch, indices: np.ndarray | None = None
+    ) -> InsertResult:
+        """Apply any batch: the SEPO driver's single dispatch point.
+
+        Pure-insert batches (including a :class:`MutationBatch` whose ops
+        are all inserts) take the legacy insert path -- no postponement
+        gate, pre-aggregated kernels fully engaged; mixed batches take the
+        gated mutation path.
+        """
+        if not batch.pure_insert:
+            return self.mutate_batch(batch, indices)
+        return self.insert_batch(batch, indices)
+
+    def mutate_batch(
+        self, batch: MutationBatch, indices: np.ndarray | None = None
+    ) -> InsertResult:
+        """Apply ``batch[indices]`` of interleaved insert/update/delete/
+        lookup ops; POSTPONE is not an error.
+
+        Same contract as :meth:`insert_batch`: a per-record success mask
+        aligned with ``indices`` plus cost statistics.  Lookup results are
+        deposited in ``batch.lookup_results`` keyed by batch-local record
+        index.
+        """
+        if indices is None:
+            indices = np.arange(len(batch))
+        tally = InsertTally()
+        if len(indices) == 0:
+            return InsertResult(np.zeros(0, dtype=bool), BatchStats(), tally)
+        bucket_ids = batch.cache.bucket_ids(self.buckets)[indices]
+        success = self.org.mutate_indices(self, batch, indices, bucket_ids, tally)
+        stats = self._stats_from(batch, indices, bucket_ids, tally)
+        self.total_mutated += tally.succeeded
         self.total_postponed += tally.postponed
         if self.sanitize == "paranoid":
             self.check_invariants()
@@ -216,6 +260,11 @@ class GpuHashTable:
         value bytes for the basic method, and ``list[bytes]`` (one key
         entry's value list) for the multi-valued method.  Duplicate keys may
         appear when postponement split a key across iterations.
+
+        Mutation flags are resolved here with the newest-first automaton:
+        chains are walked newest-first, so the first tombstone seen for a
+        key closes it (older copies are dead and never yielded), and a
+        shadow entry yields its own payload then closes the key.
         """
         heap = self.heap
         page_size = heap.page_size
@@ -224,22 +273,42 @@ class GpuHashTable:
         fmt = self.org.combiner.fmt if combining else None
         for b in self.buckets.occupied_buckets():
             addr = int(self.buckets.head_cpu[b])
+            closed: set[bytes] = set()
             while addr != NULL:
                 seg, off = divmod(addr, page_size)
                 buf = heap.segment_view(seg)
                 if multivalued:
                     hdr = E.read_key_entry_header(buf, off)
-                    next_cpu, vhead_cpu, klen = hdr[1], hdr[3], hdr[4]
+                    next_cpu, vhead_cpu, klen, flags = (
+                        hdr[1], hdr[3], hdr[4], hdr[5]
+                    )
                     key = E.key_entry_key(buf, off, klen)
-                    yield key, self._collect_values(vhead_cpu)
+                    # an *empty* PENDING key entry is allocated but
+                    # unacknowledged (its first value append postponed):
+                    # invisible to readers.  PENDING with values means a
+                    # later append postponed; the values are real data.
+                    unborn = flags & E.FLAG_PENDING and vhead_cpu == NULL
+                    if key not in closed and not unborn:
+                        if flags & E.FLAG_TOMBSTONE:
+                            closed.add(key)
+                        else:
+                            yield key, self._collect_values(vhead_cpu)
+                            if flags & E.FLAG_SHADOW:
+                                closed.add(key)
                 else:
                     _, next_cpu, klen, vlen = E.read_entry_header(buf, off)
                     key = E.entry_key(buf, off, klen)
-                    if combining:
-                        vo = off + E.ENTRY_HEADER + klen
-                        yield key, fmt.unpack_from(buf, vo)[0]
-                    else:
-                        yield key, E.entry_value(buf, off, klen, vlen)
+                    if key not in closed:
+                        flags = E.entry_flags(buf, off)
+                        if flags & E.GFLAG_TOMBSTONE:
+                            closed.add(key)
+                        elif combining:
+                            vo = off + E.ENTRY_HEADER + klen
+                            yield key, fmt.unpack_from(buf, vo)[0]
+                        else:
+                            yield key, E.entry_value(buf, off, klen, vlen)
+                            if flags & E.GFLAG_SHADOW:
+                                closed.add(key)
                 addr = next_cpu
 
     def _collect_values(self, vhead_cpu: int) -> list[bytes]:
@@ -268,7 +337,10 @@ class GpuHashTable:
         for key, payload in self.cpu_items():
             if combining:
                 if key in out:
-                    out[key] = self.org.combiner.combine(out[key], payload)
+                    # chains walk newest-first; fold older values in from
+                    # the left so non-commutative combiners match the
+                    # insertion-order model
+                    out[key] = self.org.combiner.combine(payload, out[key])
                 else:
                     out[key] = payload
             elif multivalued:

@@ -51,13 +51,13 @@ __all__ = ["LookupDriver", "LookupResult"]
 class _ChainView:
     """One resident chain walk, cached for every query that shares it.
 
-    ``entries`` holds ``(bytes_cost, key, raw_value)`` per entry in walk
-    order; ``blocked`` is ``(segment, address)`` when the chain crossed
+    ``entries`` holds ``(bytes_cost, key, raw_value, flags)`` per entry in
+    walk order; ``blocked`` is ``(segment, address)`` when the chain crossed
     into a non-resident segment (queries that exhaust ``entries`` without
     completing must POSTPONE there), or None when the walk reached NULL.
     """
 
-    entries: list[tuple[int, bytes, bytes]]
+    entries: list[tuple[int, bytes, bytes, int]]
     blocked: tuple[int, int] | None
 
 
@@ -123,7 +123,7 @@ class LookupDriver:
         # insert bitmap.
         if self._multivalued:
             state: dict[int, Any] = {
-                i: (int(head_cpu[buckets[i]]), NULL, [])
+                i: (int(head_cpu[buckets[i]]), NULL, [], False)
                 for i in range(len(keys))
             }
         else:
@@ -196,7 +196,7 @@ class LookupDriver:
         """Walk the resident chain from ``addr`` once, parsing each entry
         into ``(bytes_cost, key, raw_value)``."""
         heap = self.table.heap
-        entries: list[tuple[int, bytes, bytes]] = []
+        entries: list[tuple[int, bytes, bytes, int]] = []
         blocked = None
         while addr != NULL:
             seg, off = divmod(addr, page_size)
@@ -210,6 +210,7 @@ class LookupDriver:
                 E.ENTRY_HEADER + klen,
                 E.entry_key(buf, off, klen),
                 E.entry_value(buf, off, klen, vlen),
+                E.entry_flags(buf, off),
             ))
             addr = next_cpu
         return _ChainView(entries, blocked)
@@ -229,15 +230,23 @@ class LookupDriver:
             )
         comb = self._combiner
         if comb is None:
-            for cost, ekey, raw in view.entries:
+            for cost, ekey, raw, flags in view.entries:
                 stats.bytes_touched += cost
                 if ekey == key:
+                    if flags & E.GFLAG_TOMBSTONE:
+                        return None  # deleted: older copies are closed
                     values[i] = raw  # basic method: newest entry wins
                     return None
         else:
-            for cost, ekey, raw in view.entries:
+            for cost, ekey, raw, flags in view.entries:
                 stats.bytes_touched += cost
                 if ekey == key:
+                    if flags & E.GFLAG_TOMBSTONE:
+                        # a tombstone closes the key; every older residue
+                        # is superseded, so the walk is complete here
+                        if found:
+                            values[i] = acc
+                        return None
                     v = comb.unpack(raw)
                     acc = v if not found else comb.combine(acc, v)
                     found = True
@@ -265,6 +274,11 @@ class LookupDriver:
             _, next_cpu, klen, vlen = E.read_entry_header(buf, off)
             stats.bytes_touched += E.ENTRY_HEADER + klen
             if klen == len(key) and E.entry_key(buf, off, klen) == key:
+                if E.entry_flags(buf, off) & E.GFLAG_TOMBSTONE:
+                    # a tombstone closes the key; older copies are dead
+                    if comb is not None and found:
+                        values[i] = acc
+                    return None
                 raw = E.entry_value(buf, off, klen, vlen)
                 if comb is None:
                     values[i] = raw  # basic method: newest entry wins
@@ -277,14 +291,17 @@ class LookupDriver:
             values[i] = acc
         return None
 
-    def _walk_mv(self, key, kaddr, vaddr, collected, *, page_size, stats,
-                 values, i):
+    def _walk_mv(self, key, kaddr, vaddr, collected, last, *, page_size,
+                 stats, values, i):
         """Multi-valued walk: key chain, and each match's value chain.
 
         ``vaddr`` is NULL while walking key entries, or the current position
-        inside a matched key's value list.  Completes by storing the
-        collected value list (misses collect nothing -> empty list becomes
-        None), or blocks with ``(segment, resume_state)``.
+        inside a matched key's value list.  ``last`` is set once the walk
+        enters a *shadow* key entry's value list: that entry supersedes all
+        older same-key entries, so the walk completes when its list drains.
+        A tombstoned key entry completes the walk immediately.  Completes by
+        storing the collected value list (misses collect nothing -> empty
+        list becomes None), or blocks with ``(segment, resume_state)``.
         """
         heap = self.table.heap
         while True:
@@ -293,25 +310,38 @@ class LookupDriver:
                 seg, off = divmod(vaddr, page_size)
                 page = heap.resident_page(seg)
                 if page is None:
-                    return seg, (kaddr, vaddr, collected)
+                    return seg, (kaddr, vaddr, collected, last)
                 buf = heap.pool.slot_view(page.slot)
                 vnext_gpu, vnext_cpu, vlen = E.read_value_node_header(buf, off)
                 stats.bytes_touched += E.VALUE_NODE_HEADER + vlen
                 collected.append(E.value_node_value(buf, off, vlen))
                 vaddr = vnext_cpu
-            if kaddr == NULL:
-                values[i] = collected if collected else None
+            if last or kaddr == NULL:
+                # collected is newest-first walk order; answer oldest-first
+                # to match the dict model's append order
+                values[i] = collected[::-1] if collected else None
                 return None
             seg, off = divmod(kaddr, page_size)
             page = heap.resident_page(seg)
             if page is None:
-                return seg, (kaddr, NULL, collected)
+                return seg, (kaddr, NULL, collected, last)
             buf = heap.pool.slot_view(page.slot)
             hdr = E.read_key_entry_header(buf, off)
-            next_cpu, vhead_cpu, klen = hdr[1], hdr[3], hdr[4]
+            next_cpu, vhead_cpu, klen, flags = hdr[1], hdr[3], hdr[4], hdr[5]
             stats.bytes_touched += E.KEY_ENTRY_HEADER + klen
-            if klen == len(key) and E.key_entry_key(buf, off, klen) == key:
+            if (
+                klen == len(key)
+                and E.key_entry_key(buf, off, klen) == key
+                # skip empty PENDING entries: unacknowledged
+                and not (flags & E.FLAG_PENDING and vhead_cpu == NULL)
+            ):
+                if flags & E.FLAG_TOMBSTONE:
+                    # deleted: this and every older same-key entry is dead
+                    values[i] = collected[::-1] if collected else None
+                    return None
                 vaddr = vhead_cpu  # collect this entry's values next
+                if flags & E.FLAG_SHADOW:
+                    last = True  # replaces the whole older value list
             kaddr = next_cpu
 
     def _rearrange(self, demanded: Counter[int]) -> int:

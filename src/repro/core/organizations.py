@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.core import entries as E
 from repro.core.combiners import Combiner
+from repro.core.mutations import OP_DELETE, OP_INSERT, OP_LOOKUP, OP_UPDATE
 from repro.memalloc.address import NULL
 from repro.memalloc.pages import KIND_CODES, PageKind
 
@@ -58,6 +59,8 @@ __all__ = [
     "HASH_CYCLES_PER_BYTE",
     "PROBE_CYCLES",
     "INSERT_CYCLES",
+    "TOMBSTONE_CYCLES",
+    "UPDATE_CYCLES",
 ]
 
 #: ALU cost constants (cycles) for the table's own work, used on both devices.
@@ -66,6 +69,11 @@ PROBE_CYCLES = 12.0
 INSERT_CYCLES = 30.0
 #: maintenance cost per entry visited while splicing retained chains
 SPLICE_CYCLES = 20.0
+#: flag-word write of an in-place delete (cheaper than an insert: no
+#: payload is stored, only the klen word is rewritten)
+TOMBSTONE_CYCLES = 10.0
+#: in-place value rewrite of a basic-method update (value store + flag word)
+UPDATE_CYCLES = 18.0
 
 #: valid insert-path implementations
 IMPLS = ("vectorized", "slow_reference")
@@ -82,7 +90,7 @@ class _ChainReplay:
     creates an entry after a walk missed.
     """
 
-    __slots__ = ("addrs", "costs", "cum", "refs", "index")
+    __slots__ = ("addrs", "costs", "cum", "refs", "index", "flags", "blocked")
 
     def __init__(self) -> None:
         self.addrs: list[int] = []  # cpu address per entry (tail-first)
@@ -90,16 +98,33 @@ class _ChainReplay:
         self.cum: list[int] = []  # cumulative costs from the tail
         self.refs: list[tuple] = []  # organization-specific entry handle
         self.index: dict[bytes, int] = {}  # key -> tail position
+        self.flags: list[int] = []  # on-disk mutation flags per entry
+        #: the materializing walk stopped at a non-resident entry, so a
+        #: miss against this prefix does not prove the key is absent
+        self.blocked: bool = False
 
-    def append_head(self, addr: int, cost: int, key: bytes, ref: tuple) -> None:
+    def append_head(
+        self, addr: int, cost: int, key: bytes, ref: tuple, flags: int = 0
+    ) -> None:
         t = len(self.addrs)
         self.addrs.append(addr)
         self.costs.append(cost)
         self.cum.append((self.cum[-1] if t else 0) + cost)
         self.refs.append(ref)
+        self.flags.append(flags)
         self.index[key] = t
 
-    def replay(self, key: bytes, tally: "InsertTally", trace) -> tuple | None:
+    def mark(self, t: int, flag: int) -> None:
+        """Mirror an in-place flag write (tombstone/shadow) into the memo."""
+        self.flags[t] |= flag
+
+    def resolve(
+        self, key: bytes, tally: "InsertTally", trace
+    ) -> tuple[int, tuple, int] | None:
+        """Like :meth:`replay`, but surfaces liveness: returns
+        ``(position, ref, flags)`` of the newest same-key entry -- live,
+        shadowed, or tombstoned -- or None on a clean miss.  Charges are
+        what a fresh walk stopping at the first (newest) match pays."""
         n = len(self.addrs)
         t = self.index.get(key)
         if t is None:  # miss: the walk visits the whole resident prefix
@@ -115,7 +140,11 @@ class _ChainReplay:
         if trace is not None:
             for i in range(n - 1, t - 1, -1):
                 trace.on_access(self.addrs[i], self.costs[i])
-        return self.refs[t]
+        return t, self.refs[t], self.flags[t]
+
+    def replay(self, key: bytes, tally: "InsertTally", trace) -> tuple | None:
+        hit = self.resolve(key, tally, trace)
+        return None if hit is None else hit[1]
 
 
 def _segmented_exclusive_cumsum(x: np.ndarray, seg: np.ndarray) -> np.ndarray:
@@ -200,6 +229,37 @@ class Organization:
         # organizations without a batched kernel fall back to the reference
         return self._insert_scalar(table, batch, idx, buckets, tally)
 
+    # ------------------------------------------------------------------
+    # mixed-op mutation path (see repro.core.mutations)
+    # ------------------------------------------------------------------
+    def mutate_indices(
+        self,
+        table: "GpuHashTable",
+        batch,
+        idx: np.ndarray,
+        buckets: np.ndarray,
+        tally: InsertTally,
+    ) -> np.ndarray:
+        """Apply a mixed insert/update/delete/lookup batch.
+
+        Mutation batches are *gated*: any op whose bucket group is
+        sticky-failed postpones up front, which preserves per-key issue
+        order across postponement replays (same key -> same bucket -> same
+        group, and a failed allocation poisons the group until the
+        end-of-iteration eviction refills the pool).
+        """
+        if self.impl == "slow_reference":
+            return self._mutate_scalar(table, batch, idx, buckets, tally)
+        return self._mutate_vectorized(table, batch, idx, buckets, tally)
+
+    def _mutate_scalar(self, table, batch, idx, buckets, tally) -> np.ndarray:
+        raise NotImplementedError(
+            f"the {self.kind} organization has no mutation path"
+        )
+
+    def _mutate_vectorized(self, table, batch, idx, buckets, tally) -> np.ndarray:
+        return self._mutate_scalar(table, batch, idx, buckets, tally)
+
     def should_halt(self, table: "GpuHashTable") -> bool:
         return False
 
@@ -231,10 +291,30 @@ class Organization:
     def _walk_resident(table, bufs, addr, key, tally, trace):
         """Walk a chain while targets are resident, looking for ``key``.
 
-        Returns (buf, off, klen) of the matching entry or None.  Traversal
-        stops at the first non-resident target -- safe because inserts are at
-        the head, so resident entries form a prefix of the chain within an
-        iteration (Section III-B).
+        Returns (buf, off, klen, flags) of the first (newest) matching
+        entry -- live or tombstoned; callers that care check ``flags`` --
+        or None.  Traversal stops at the first non-resident target -- safe
+        because inserts are at the head, so resident entries form a prefix
+        of the chain within an iteration (Section III-B).
+        """
+        hit, _blocked = Organization._walk_resident_mut(
+            table, bufs, addr, key, tally, trace
+        )
+        if hit is None:
+            return None
+        buf, off, klen, _vlen, flags, _addr = hit
+        return buf, off, klen, flags
+
+    @staticmethod
+    def _walk_resident_mut(table, bufs, addr, key, tally, trace):
+        """Resident-prefix walk that distinguishes *absence* from *blocking*.
+
+        Returns ``(hit, blocked)``: ``hit`` is ``(buf, off, klen, vlen,
+        flags, addr)`` of the first (newest) same-key entry, live or dead,
+        else None; ``blocked`` is True when the walk stopped at a
+        non-resident entry, so a miss does not prove the key is absent from
+        the table (the delete path must then prepend a tombstone entry
+        rather than no-op).
         """
         heap = table.heap
         page_size = heap.page_size
@@ -245,7 +325,7 @@ class Organization:
             if cached is None:
                 page = heap.resident_page(seg)
                 if page is None:
-                    return None  # rest of chain is non-resident
+                    return None, True  # rest of chain is non-resident
                 cached = heap.pool.slot_view(page.slot)
                 bufs[seg] = cached
             next_gpu, next_cpu, klen, vlen = E.read_entry_header(cached, off)
@@ -254,9 +334,158 @@ class Organization:
             if trace is not None:
                 trace.on_access(addr, E.ENTRY_HEADER + klen)
             if klen == klen_key and E.entry_key(cached, off, klen) == key:
-                return cached, off, klen
+                return (
+                    cached, off, klen, vlen, E.entry_flags(cached, off), addr
+                ), False
             addr = next_cpu
-        return None
+        return None, False
+
+    @staticmethod
+    def _materialize_chain(table, addr: int) -> _ChainReplay:
+        """Walk one bucket's resident chain prefix once, recording every
+        entry so later walks in the same batch are dict lookups."""
+        heap = table.heap
+        page_size = heap.page_size
+        walked = []  # head-first
+        blocked = False
+        while addr != NULL:
+            seg, off = divmod(addr, page_size)
+            page = heap.resident_page(seg)
+            if page is None:
+                blocked = True
+                break
+            buf = heap.pool.slot_view(page.slot)
+            _, next_cpu, klen, vlen = E.read_entry_header(buf, off)
+            key = E.entry_key(buf, off, klen)
+            walked.append((
+                addr, E.ENTRY_HEADER + klen, key,
+                (buf, off, klen, vlen, addr), E.entry_flags(buf, off),
+            ))
+            addr = next_cpu
+        chain = _ChainReplay()
+        for entry in reversed(walked):
+            chain.append_head(*entry)
+        chain.blocked = blocked
+        return chain
+
+    # ------------------------------------------------------------------
+    # shared generic-entry mutation machinery (basic + combining)
+    # ------------------------------------------------------------------
+    def _generic_find(self, table, chains, bufs, b, key, tally, trace):
+        """Newest resident same-key entry via a fresh walk (``chains`` is
+        None: the scalar oracle) or the per-batch chain memo (vectorized).
+
+        Returns ``(hit, blocked, t, chain)`` with ``hit = (buf, off, klen,
+        vlen, flags, addr)`` or None; ``flags`` is always read fresh from
+        the entry so in-place flag flips earlier in the batch are visible
+        on both paths.  ``t``/``chain`` are the memo coordinates (None on
+        the scalar path)."""
+        head = int(table.buckets.head_cpu[b])
+        if chains is None:
+            hit, blocked = self._walk_resident_mut(
+                table, bufs, head, key, tally, trace
+            )
+            return hit, blocked, None, None
+        chain = chains.get(b)
+        if chain is None:
+            chain = self._materialize_chain(table, head)
+            chains[b] = chain
+        got = chain.resolve(key, tally, trace)
+        if got is None:
+            return None, chain.blocked, None, chain
+        t, (buf, off, klen, vlen, addr), _memo_flags = got
+        return (buf, off, klen, vlen, E.entry_flags(buf, off), addr), \
+            False, t, chain
+
+    def _delete_generic(
+        self, table, tally, b, key, hit, blocked, t, chain
+    ) -> bool:
+        """Tombstone delete against a generic-entry chain; True = success.
+
+        Upsert semantics: a proven-absent or already-dead key is a
+        successful no-op; a live newest match is tombstoned in place; a
+        miss against a chain that continues into evicted memory prepends a
+        born-dead tombstone entry (absence is unprovable, and the
+        tombstone must outrank any evicted copy at merge time)."""
+        alloc = table.alloc
+        trace = table.trace
+        muts = table.mutations
+        if hit is not None:
+            buf, off, klen, vlen, flags, addr = hit
+            if flags & E.GFLAG_TOMBSTONE:
+                muts.deletes_noop += 1
+                return True
+            E.set_entry_flag(buf, off, E.GFLAG_TOMBSTONE)
+            if chain is not None:
+                chain.mark(t, E.GFLAG_TOMBSTONE)
+            alloc.note_tombstone(E.entry_size(klen, vlen))
+            tally.table_cycles += TOMBSTONE_CYCLES
+            tally.bytes_touched += 4  # the rewritten klen/flag word
+            if trace is not None:
+                trace.on_access(addr, 4)
+            muts.deletes_inplace += 1
+            return True
+        if not blocked:
+            muts.deletes_noop += 1
+            return True
+        group = b // table.buckets.group_size
+        size = E.entry_size(len(key), 0)
+        tally.table_cycles += INSERT_CYCLES
+        a = alloc.allocate(group, size, PageKind.GENERIC)
+        if a is None:
+            return False
+        head_gpu = table.buckets.head_gpu
+        head_cpu = table.buckets.head_cpu
+        buf = table.heap.pool.slot_view(a.page.slot)
+        E.write_entry(
+            buf, a.offset, int(head_gpu[b]), int(head_cpu[b]), key, b""
+        )
+        E.set_entry_flag(buf, a.offset, E.GFLAG_TOMBSTONE)
+        head_gpu[b] = a.gpu_addr
+        head_cpu[b] = a.cpu_addr
+        alloc.note_tombstone(size)
+        tally.bytes_touched += size + 16
+        tally.alloc_groups.append(group)
+        if trace is not None:
+            trace.on_access(a.cpu_addr, size)
+        if chain is not None:
+            chain.append_head(
+                a.cpu_addr, E.ENTRY_HEADER + len(key), key,
+                (buf, a.offset, len(key), 0, a.cpu_addr),
+                flags=E.GFLAG_TOMBSTONE,
+            )
+        muts.deletes_tombstones += 1
+        return True
+
+    def _lookup_generic(self, table, b, key, tally) -> list[bytes]:
+        """Full CPU-chain lookup through the newest-first automaton.
+
+        Dual pointers make evicted entries host-visible, so the walk never
+        blocks.  Newest-first: a tombstone closes the key (older copies are
+        dead), a shadow emits its own value and closes the key; the
+        collected values are reversed to oldest-first, matching the
+        dict-model's append order."""
+        heap = table.heap
+        page_size = heap.page_size
+        addr = int(table.buckets.head_cpu[b])
+        klen_key = len(key)
+        out: list[bytes] = []
+        while addr != NULL:
+            seg, off = divmod(addr, page_size)
+            buf = heap.segment_view(seg)
+            _, next_cpu, klen, vlen = E.read_entry_header(buf, off)
+            tally.probe_steps += 1
+            tally.bytes_touched += E.ENTRY_HEADER + klen
+            if klen == klen_key and E.entry_key(buf, off, klen) == key:
+                flags = E.entry_flags(buf, off)
+                if flags & E.GFLAG_TOMBSTONE:
+                    break
+                out.append(E.entry_value(buf, off, klen, vlen))
+                if flags & E.GFLAG_SHADOW:
+                    break
+            addr = next_cpu
+        out.reverse()
+        return out
 
 
 class BasicOrganization(Organization):
@@ -275,13 +504,19 @@ class BasicOrganization(Organization):
 
     def reconcile_tally(self, table, census) -> list[str]:
         # One entry per acknowledged success, duplicates kept separately.
-        if census.n_entries != table.total_inserted:
+        # Mutations add entries too: insert/update ops that allocated, and
+        # born-dead tombstones; in-place deletes and updates do not.
+        m = table.mutations
+        expected = (
+            table.total_inserted + m.inserts + m.updates_entries
+            + m.deletes_tombstones
+        )
+        if census.n_entries != expected:
             return [
-                f"basic organization acknowledged {table.total_inserted} "
-                f"successful inserts but {census.n_entries} entries are "
-                "reachable: "
+                f"basic organization acknowledged {expected} entry-creating "
+                f"operations but {census.n_entries} entries are reachable: "
                 + ("records were silently dropped"
-                   if census.n_entries < table.total_inserted
+                   if census.n_entries < expected
                    else "phantom entries appeared")
             ]
         return []
@@ -396,6 +631,149 @@ class BasicOrganization(Organization):
             success[j] = True
         return success
 
+    # -- mixed-op mutation path ----------------------------------------
+    def _mutate_scalar(self, table, batch, idx, buckets, tally):
+        return self._mutate_impl(table, batch, idx, buckets, tally, None)
+
+    def _mutate_vectorized(self, table, batch, idx, buckets, tally):
+        return self._mutate_impl(table, batch, idx, buckets, tally, {})
+
+    def _mutate_impl(self, table, batch, idx, buckets, tally, chains):
+        """In-order mixed-op loop; ``chains`` switches the walk strategy.
+
+        With ``chains`` a dict, each touched bucket's resident chain is
+        materialized once and kept coherent across in-batch mutations (one
+        chain probe per distinct key); with None every op re-walks the real
+        chain -- the scalar oracle.  All charges are shared code, so the
+        two paths stay bit-identical by construction.
+        """
+        heap = table.heap
+        alloc = table.alloc
+        head_gpu = table.buckets.head_gpu
+        head_cpu = table.buckets.head_cpu
+        group_size = table.buckets.group_size
+        trace = table.trace
+        muts = table.mutations
+        all_keys = batch.key_bytes_list()
+        op_list = batch.ops.tolist()
+        idx_list = idx.tolist()
+        bucket_list = buckets.tolist()
+        success = np.zeros(len(idx), dtype=bool)
+        bufs: dict[int, np.ndarray] = {}
+        for j, i in enumerate(idx_list):
+            b = bucket_list[j]
+            group = b // group_size
+            key = all_keys[i]
+            op = op_list[i]
+            tally.attempted += 1
+            tally.table_cycles += HASH_CYCLES_PER_BYTE * len(key)
+            if alloc.group_failed(group):
+                # the gate: a same-group op already postponed, so this op
+                # must too, or it could overtake the pending one
+                tally.postponed += 1
+                muts.gate_postponed += 1
+                continue
+            if op == OP_LOOKUP:
+                batch.lookup_results[i] = self._lookup_generic(
+                    table, b, key, tally
+                )
+                tally.succeeded += 1
+                muts.lookups += 1
+                success[j] = True
+                continue
+            if op == OP_INSERT:
+                value = batch.value_bytes(i)
+                size = E.entry_size(len(key), len(value))
+                tally.table_cycles += INSERT_CYCLES
+                a = alloc.allocate(group, size, PageKind.GENERIC)
+                if a is None:
+                    tally.postponed += 1
+                    continue
+                buf = heap.pool.slot_view(a.page.slot)
+                E.write_entry(
+                    buf, a.offset, int(head_gpu[b]), int(head_cpu[b]),
+                    key, value,
+                )
+                head_gpu[b] = a.gpu_addr
+                head_cpu[b] = a.cpu_addr
+                tally.succeeded += 1
+                tally.bytes_touched += size + 16
+                tally.alloc_groups.append(group)
+                if trace is not None:
+                    trace.on_access(a.cpu_addr, size)
+                if chains is not None and b in chains:
+                    chains[b].append_head(
+                        a.cpu_addr, E.ENTRY_HEADER + len(key), key,
+                        (buf, a.offset, len(key), len(value), a.cpu_addr),
+                    )
+                muts.inserts += 1
+                success[j] = True
+                continue
+            if op == OP_UPDATE:
+                value = batch.value_bytes(i)
+                hit, blocked, t, chain = self._generic_find(
+                    table, chains, bufs, b, key, tally, trace
+                )
+                if hit is not None:
+                    buf, off, klen, vlen, flags, addr = hit
+                    if not flags & E.GFLAG_TOMBSTONE and vlen == len(value):
+                        # live newest match, same width: rewrite in place
+                        # and shadow it so older duplicates are superseded
+                        E.set_entry_value(buf, off, klen, value)
+                        E.set_entry_flag(buf, off, E.GFLAG_SHADOW)
+                        if chain is not None:
+                            chain.mark(t, E.GFLAG_SHADOW)
+                        tally.table_cycles += UPDATE_CYCLES
+                        tally.bytes_touched += vlen + 4
+                        if trace is not None:
+                            trace.on_access(addr, vlen + 4)
+                        tally.succeeded += 1
+                        muts.updates_inplace += 1
+                        success[j] = True
+                        continue
+                # dead, width-changing, or unproven-absent: prepend a
+                # shadow entry that replaces every older copy at merge
+                size = E.entry_size(len(key), len(value))
+                tally.table_cycles += INSERT_CYCLES
+                a = alloc.allocate(group, size, PageKind.GENERIC)
+                if a is None:
+                    tally.postponed += 1
+                    continue
+                buf = heap.pool.slot_view(a.page.slot)
+                E.write_entry(
+                    buf, a.offset, int(head_gpu[b]), int(head_cpu[b]),
+                    key, value,
+                )
+                E.set_entry_flag(buf, a.offset, E.GFLAG_SHADOW)
+                head_gpu[b] = a.gpu_addr
+                head_cpu[b] = a.cpu_addr
+                tally.succeeded += 1
+                tally.bytes_touched += size + 16
+                tally.alloc_groups.append(group)
+                if trace is not None:
+                    trace.on_access(a.cpu_addr, size)
+                if chain is not None:
+                    chain.append_head(
+                        a.cpu_addr, E.ENTRY_HEADER + len(key), key,
+                        (buf, a.offset, len(key), len(value), a.cpu_addr),
+                        flags=E.GFLAG_SHADOW,
+                    )
+                muts.updates_entries += 1
+                success[j] = True
+                continue
+            # OP_DELETE
+            hit, blocked, t, chain = self._generic_find(
+                table, chains, bufs, b, key, tally, trace
+            )
+            if self._delete_generic(
+                table, tally, b, key, hit, blocked, t, chain
+            ):
+                tally.succeeded += 1
+                success[j] = True
+            else:
+                tally.postponed += 1
+        return success
+
 
 class CombiningOrganization(Organization):
     """Duplicate keys combined in place via a callback (Section IV-B)."""
@@ -408,37 +786,20 @@ class CombiningOrganization(Organization):
 
     def reconcile_tally(self, table, census) -> list[str]:
         # In-place combines acknowledge a success without a new entry, so
-        # the census can only be *at most* the success count; more means
-        # entries appeared that no insert created.
-        if census.n_entries > table.total_inserted:
+        # the census can only be *at most* the entry-creating op count;
+        # more means entries appeared that no operation created.
+        m = table.mutations
+        bound = (
+            table.total_inserted + m.inserts + m.updates_entries
+            + m.deletes_tombstones
+        )
+        if census.n_entries > bound:
             return [
-                f"combining organization acknowledged {table.total_inserted} "
-                f"successful inserts but {census.n_entries} entries are "
-                "reachable: phantom entries appeared"
+                f"combining organization acknowledged at most {bound} "
+                f"entry-creating operations but {census.n_entries} entries "
+                "are reachable: phantom entries appeared"
             ]
         return []
-
-    @staticmethod
-    def _materialize_chain(table, addr: int) -> _ChainReplay:
-        """Walk one bucket's resident chain prefix once, recording every
-        entry so later walks in the same batch are dict lookups."""
-        heap = table.heap
-        page_size = heap.page_size
-        walked = []  # head-first
-        while addr != NULL:
-            seg, off = divmod(addr, page_size)
-            page = heap.resident_page(seg)
-            if page is None:
-                break
-            buf = heap.pool.slot_view(page.slot)
-            _, next_cpu, klen, _ = E.read_entry_header(buf, off)
-            key = E.entry_key(buf, off, klen)
-            walked.append((addr, E.ENTRY_HEADER + klen, key, (buf, off, klen)))
-            addr = next_cpu
-        chain = _ChainReplay()
-        for entry in reversed(walked):
-            chain.append_head(*entry)
-        return chain
 
     def _insert_vectorized(self, table, batch, idx, buckets, tally):
         """Batched combining insert via in-batch pre-aggregation.
@@ -470,11 +831,13 @@ class CombiningOrganization(Organization):
             or grouping.has_collision
             or not comb.supports_vector_reduce
             or batch.numeric_values.dtype != comb.dtype
+            or table.alloc.stats.entries_tombstoned > 0
         ):
             return self._insert_replay(table, batch, idx, buckets, tally)
         return self._insert_preagg(table, batch, idx, buckets, tally, grouping)
 
-    def _insert_preagg(self, table, batch, idx, buckets, tally, grouping):
+    def _insert_preagg(self, table, batch, idx, buckets, tally, grouping,
+                       ops=None):
         """One probe + one combine per distinct key, scalar-exact tallies.
 
         The scalar reference's walk charges depend on how the bucket's
@@ -643,11 +1006,21 @@ class CombiningOrganization(Organization):
         # one in-place combine per resident hit key
         if hit_refs:
             fmt = comb.fmt
-            for gi, (buf, off, klen) in hit_refs:
+            for gi, (buf, off, klen, _vlen, _addr) in hit_refs:
                 vo = off + E.ENTRY_HEADER + klen
                 stored = fmt.unpack_from(buf, vo)[0]
                 fmt.pack_into(buf, vo, comb.combine(stored, int(red[gi])))
 
+        if ops is not None:
+            # mixed-op accounting: under the no-failure pre-flight every
+            # record succeeded; updates that hit combined in place, updates
+            # that missed created their entry.
+            hit = hit_res | hit_new
+            upd = ops == OP_UPDATE
+            muts = table.mutations
+            muts.inserts += int((~upd).sum())
+            muts.updates_inplace += int((upd & hit).sum())
+            muts.updates_entries += int((upd & ~hit).sum())
         return hit_res | r_ins
 
     def _insert_replay(self, table, batch, idx, buckets, tally):
@@ -684,9 +1057,9 @@ class CombiningOrganization(Organization):
             if chain is None:
                 chain = self._materialize_chain(table, int(head_cpu[b]))
                 chains[b] = chain
-            ref = chain.replay(key, tally, trace)
-            if ref is not None:
-                buf, off, klen = ref
+            got = chain.resolve(key, tally, trace)
+            if got is not None and not got[2] & E.GFLAG_TOMBSTONE:
+                buf, off, klen = got[1][:3]
                 vo = off + E.ENTRY_HEADER + klen
                 stored = fmt.unpack_from(buf, vo)[0]
                 fmt.pack_into(buf, vo, comb.combine(stored, v))
@@ -698,6 +1071,8 @@ class CombiningOrganization(Organization):
                     trace.on_access(int(head_cpu[b]), comb.value_size)
                 success[j] = True
                 continue
+            # clean miss, or the newest copy is a tombstone (the key was
+            # deleted: a fresh entry supersedes it at merge time)
             size = E.entry_size(len(key), comb.value_size)
             a = alloc.allocate(b // group_size, size, PageKind.GENERIC)
             tally.table_cycles += INSERT_CYCLES
@@ -713,7 +1088,7 @@ class CombiningOrganization(Organization):
             head_cpu[b] = a.cpu_addr
             chain.append_head(
                 a.cpu_addr, E.ENTRY_HEADER + len(key), key,
-                (buf, a.offset, len(key)),
+                (buf, a.offset, len(key), comb.value_size, a.cpu_addr),
             )
             tally.succeeded += 1
             tally.bytes_touched += size + 16
@@ -752,8 +1127,10 @@ class CombiningOrganization(Organization):
             hit = self._walk_resident(
                 table, bufs, int(head_cpu[b]), key, tally, trace
             )
+            if hit is not None and hit[3] & E.GFLAG_TOMBSTONE:
+                hit = None  # deleted key: a fresh entry supersedes it
             if hit is not None:
-                buf, off, klen = hit
+                buf, off, klen, _fl = hit
                 vo = off + E.ENTRY_HEADER + klen
                 stored = fmt.unpack_from(buf, vo)[0]
                 fmt.pack_into(buf, vo, comb.combine(stored, v))
@@ -787,6 +1164,171 @@ class CombiningOrganization(Organization):
             success[j] = True
         return success
 
+    # -- mixed-op mutation path ----------------------------------------
+    def _mutate_scalar(self, table, batch, idx, buckets, tally):
+        return self._mutate_impl(table, batch, idx, buckets, tally, None)
+
+    def _mutate_vectorized(self, table, batch, idx, buckets, tally):
+        """Mutation dispatch for the batched implementation.
+
+        Insert/update-only batches reuse the pre-aggregated insert kernel
+        (an update is an upsert-combine, identical to an insert) when a
+        worst-case all-miss pre-flight proves no allocation can fail: then
+        the postponement gate can never fire mid-batch, and the kernel's
+        closed-form charges are exact.  Everything else -- deletes,
+        lookups, float/callback combiners, sticky failures, tombstones
+        already in the table -- runs the memoized replay loop, which is
+        bit-identical to the scalar oracle by shared code.
+        """
+        comb = self.combiner
+        ops_arr = batch.ops[idx]
+        if (
+            table.trace is None
+            and not ((ops_arr == OP_DELETE) | (ops_arr == OP_LOOKUP)).any()
+            and comb.supports_vector_reduce
+            and batch.numeric_values is not None
+            and batch.numeric_values.dtype == comb.dtype
+            and not table.alloc.has_failures
+            and table.alloc.stats.entries_tombstoned == 0
+        ):
+            grouping = batch.cache.grouping(table.buckets)
+            if not grouping.has_collision:
+                # worst-case pre-flight: one entry per distinct key, as if
+                # every probe missed.  The real request sequence is a
+                # same-order subsequence with identical sizes, and bump
+                # allocation is monotone under dropping requests, so
+                # success of the superset implies success of whatever the
+                # kernel actually allocates.
+                sub, starts = grouping.subset(idx)
+                firstj = sub[starts]
+                order = np.argsort(firstj, kind="stable")
+                first_arr = firstj[order]
+                klens = batch.key_lens[idx].astype(np.int64)
+                sizes = E.entry_sizes_bulk(
+                    klens[first_arr],
+                    np.full(len(first_arr), comb.value_size, np.int64),
+                )
+                groups = buckets[first_arr] // table.buckets.group_size
+                needed = table.alloc.plan_pages_needed(groups, sizes)
+                if table.heap.pool.can_take(needed):
+                    return self._insert_preagg(
+                        table, batch, idx, buckets, tally, grouping,
+                        ops=ops_arr,
+                    )
+        return self._mutate_impl(table, batch, idx, buckets, tally, {})
+
+    def _mutate_impl(self, table, batch, idx, buckets, tally, chains):
+        """In-order mixed-op loop (see BasicOrganization._mutate_impl)."""
+        heap = table.heap
+        alloc = table.alloc
+        head_gpu = table.buckets.head_gpu
+        head_cpu = table.buckets.head_cpu
+        group_size = table.buckets.group_size
+        comb = self.combiner
+        fmt = comb.fmt
+        trace = table.trace
+        muts = table.mutations
+        if batch.numeric_values is None:
+            raise ValueError(
+                "the combining method stores fixed-width scalar values; "
+                "build the batch with numeric_values"
+            )
+        all_keys = batch.key_bytes_list()
+        all_values = batch.numeric_values.tolist()
+        op_list = batch.ops.tolist()
+        idx_list = idx.tolist()
+        bucket_list = buckets.tolist()
+        success = np.zeros(len(idx), dtype=bool)
+        bufs: dict[int, np.ndarray] = {}
+        for j, i in enumerate(idx_list):
+            b = bucket_list[j]
+            group = b // group_size
+            key = all_keys[i]
+            op = op_list[i]
+            tally.attempted += 1
+            tally.table_cycles += HASH_CYCLES_PER_BYTE * len(key)
+            if alloc.group_failed(group):
+                tally.postponed += 1
+                muts.gate_postponed += 1
+                continue
+            if op == OP_LOOKUP:
+                raw = self._lookup_generic(table, b, key, tally)
+                if raw:
+                    acc = comb.unpack(raw[0])
+                    for rv in raw[1:]:
+                        acc = comb.combine(acc, comb.unpack(rv))
+                    batch.lookup_results[i] = acc
+                else:
+                    batch.lookup_results[i] = None
+                tally.succeeded += 1
+                muts.lookups += 1
+                success[j] = True
+                continue
+            if op == OP_DELETE:
+                hit, blocked, t, chain = self._generic_find(
+                    table, chains, bufs, b, key, tally, trace
+                )
+                if self._delete_generic(
+                    table, tally, b, key, hit, blocked, t, chain
+                ):
+                    tally.succeeded += 1
+                    success[j] = True
+                else:
+                    tally.postponed += 1
+                continue
+            # OP_INSERT and OP_UPDATE are both upsert-combines
+            v = all_values[i]
+            hit, blocked, t, chain = self._generic_find(
+                table, chains, bufs, b, key, tally, trace
+            )
+            if hit is not None and not hit[4] & E.GFLAG_TOMBSTONE:
+                buf, off, klen = hit[0], hit[1], hit[2]
+                vo = off + E.ENTRY_HEADER + klen
+                stored = fmt.unpack_from(buf, vo)[0]
+                fmt.pack_into(buf, vo, comb.combine(stored, v))
+                tally.table_cycles += comb.cycles
+                tally.bytes_touched += 2 * comb.value_size
+                tally.succeeded += 1
+                if trace is not None:
+                    trace.on_access(int(head_cpu[b]), comb.value_size)
+                if op == OP_UPDATE:
+                    muts.updates_inplace += 1
+                else:
+                    muts.inserts += 1
+                success[j] = True
+                continue
+            # clean miss, or the newest copy is a tombstone
+            size = E.entry_size(len(key), comb.value_size)
+            tally.table_cycles += INSERT_CYCLES
+            a = alloc.allocate(group, size, PageKind.GENERIC)
+            if a is None:
+                tally.postponed += 1
+                continue
+            buf = heap.pool.slot_view(a.page.slot)
+            bufs[a.page.segment] = buf
+            E.write_entry(
+                buf, a.offset, int(head_gpu[b]), int(head_cpu[b]),
+                key, comb.pack(v),
+            )
+            head_gpu[b] = a.gpu_addr
+            head_cpu[b] = a.cpu_addr
+            tally.succeeded += 1
+            tally.bytes_touched += size + 16
+            tally.alloc_groups.append(group)
+            if trace is not None:
+                trace.on_access(a.cpu_addr, size)
+            if chain is not None:
+                chain.append_head(
+                    a.cpu_addr, E.ENTRY_HEADER + len(key), key,
+                    (buf, a.offset, len(key), comb.value_size, a.cpu_addr),
+                )
+            if op == OP_UPDATE:
+                muts.updates_entries += 1
+            else:
+                muts.inserts += 1
+            success[j] = True
+        return success
+
 
 class MultiValuedOrganization(Organization):
     """Keys carry a linked list of values; keys and values on separate pages."""
@@ -812,16 +1354,17 @@ class MultiValuedOrganization(Organization):
         self.pin_retention_limit = pin_retention_limit
 
     def reconcile_tally(self, table, census) -> list[str]:
-        # Every acknowledged success appended exactly one value node (key
-        # entries are created on demand and may be duplicated by forced
-        # evictions, but values are never re-created).
-        if census.n_value_nodes != table.total_inserted:
+        # Every acknowledged insert/update appended exactly one value node
+        # (key entries are created on demand and may be duplicated by
+        # forced evictions, but values are never re-created).
+        expected = table.total_inserted + table.mutations.value_nodes
+        if census.n_value_nodes != expected:
             return [
-                f"multi-valued organization acknowledged "
-                f"{table.total_inserted} successful inserts but "
-                f"{census.n_value_nodes} value nodes are reachable: "
+                f"multi-valued organization acknowledged {expected} "
+                f"value-appending operations but {census.n_value_nodes} "
+                "value nodes are reachable: "
                 + ("records were silently dropped"
-                   if census.n_value_nodes < table.total_inserted
+                   if census.n_value_nodes < expected
                    else "phantom value nodes appeared")
             ]
         return []
@@ -853,6 +1396,20 @@ class MultiValuedOrganization(Organization):
 
     # -- key-entry chain walk (different header layout) ------------------
     def _find_key(self, table, bufs, addr, key, tally, trace):
+        """Resident walk for the newest same-key key entry, live or dead.
+
+        Returns ``(buf, off, seg, flags)`` or None; see
+        :meth:`_find_key_mut` for the absence/blocking distinction."""
+        hit, _blocked = self._find_key_mut(table, bufs, addr, key, tally, trace)
+        if hit is None:
+            return None
+        buf, off, seg, flags, _addr = hit
+        return buf, off, seg, flags
+
+    def _find_key_mut(self, table, bufs, addr, key, tally, trace):
+        """Like :meth:`Organization._walk_resident_mut` for key entries:
+        returns ``(hit, blocked)`` with ``hit = (buf, off, seg, flags,
+        addr)`` of the newest same-key key entry, else None."""
         heap = table.heap
         page_size = heap.page_size
         klen_key = len(key)
@@ -862,7 +1419,7 @@ class MultiValuedOrganization(Organization):
             if cached is None:
                 page = heap.resident_page(seg)
                 if page is None:
-                    return None
+                    return None, True
                 cached = heap.pool.slot_view(page.slot)
                 bufs[seg] = cached
             hdr = E.read_key_entry_header(cached, off)
@@ -872,9 +1429,9 @@ class MultiValuedOrganization(Organization):
             if trace is not None:
                 trace.on_access(addr, E.KEY_ENTRY_HEADER + klen)
             if klen == klen_key and E.key_entry_key(cached, off, klen) == key:
-                return cached, off, seg
+                return (cached, off, seg, hdr[5], addr), False
             addr = next_cpu
-        return None
+        return None, False
 
     def _append_value(self, table, tally, trace, kbuf, koff, group, value) -> bool:
         """Allocate a value node and push it onto the key's value list."""
@@ -899,22 +1456,25 @@ class MultiValuedOrganization(Organization):
         heap = table.heap
         page_size = heap.page_size
         walked = []  # head-first
+        blocked = False
         while addr != NULL:
             seg, off = divmod(addr, page_size)
             page = heap.resident_page(seg)
             if page is None:
+                blocked = True
                 break
             buf = heap.pool.slot_view(page.slot)
             hdr = E.read_key_entry_header(buf, off)
             next_cpu, klen = hdr[1], hdr[4]
             key = E.key_entry_key(buf, off, klen)
             walked.append(
-                (addr, E.KEY_ENTRY_HEADER + klen, key, (buf, off, seg))
+                (addr, E.KEY_ENTRY_HEADER + klen, key, (buf, off, seg), hdr[5])
             )
             addr = next_cpu
         chain = _ChainReplay()
         for entry in reversed(walked):
             chain.append_head(*entry)
+        chain.blocked = blocked
         return chain
 
     def _insert_vectorized(self, table, batch, idx, buckets, tally):
@@ -937,7 +1497,11 @@ class MultiValuedOrganization(Organization):
         if batch.values is None:
             raise ValueError("the multi-valued method requires byte values")
         grouping = batch.cache.grouping(table.buckets)
-        if table.trace is None and not grouping.has_collision:
+        if (
+            table.trace is None
+            and not grouping.has_collision
+            and table.alloc.stats.entries_tombstoned == 0
+        ):
             result = self._insert_preagg(table, batch, idx, buckets, tally,
                                          grouping)
             if result is not None:
@@ -1172,7 +1736,10 @@ class MultiValuedOrganization(Organization):
             if chain is None:
                 chain = self._materialize_keychain(table, int(head_cpu[b]))
                 chains[b] = chain
-            hit = chain.replay(key, tally, trace)
+            got = chain.resolve(key, tally, trace)
+            if got is not None and got[2] & E.FLAG_TOMBSTONE:
+                got = None  # deleted key: a fresh key entry supersedes it
+            hit = None if got is None else got[1]
             if hit is None:
                 ksize = E.key_entry_size(len(key))
                 a = alloc.allocate(group, ksize, PageKind.KEY)
@@ -1227,6 +1794,8 @@ class MultiValuedOrganization(Organization):
             tally.attempted += 1
             tally.table_cycles += HASH_CYCLES_PER_BYTE * len(key) + INSERT_CYCLES
             hit = self._find_key(table, bufs, int(head_cpu[b]), key, tally, trace)
+            if hit is not None and hit[3] & E.FLAG_TOMBSTONE:
+                hit = None  # deleted key: a fresh key entry supersedes it
             if hit is None:
                 ksize = E.key_entry_size(len(key))
                 a = alloc.allocate(group, ksize, PageKind.KEY)
@@ -1244,8 +1813,8 @@ class MultiValuedOrganization(Organization):
                 tally.alloc_groups.append(group)
                 if trace is not None:
                     trace.on_access(a.cpu_addr, ksize)
-                hit = (kbuf, a.offset, a.page.segment)
-            kbuf, koff, kseg = hit
+                hit = (kbuf, a.offset, a.page.segment, 0)
+            kbuf, koff, kseg = hit[:3]
             if self._append_value(table, tally, trace, kbuf, koff, group, value):
                 self._clear_pending(table, kbuf, kseg, koff)
                 tally.succeeded += 1
@@ -1253,6 +1822,237 @@ class MultiValuedOrganization(Organization):
             else:
                 # The key entry exists but its value could not be stored:
                 # flag it so its page is retained across the eviction.
+                self._set_pending(table, kbuf, kseg, koff)
+                tally.postponed += 1
+        return success
+
+    # -- mixed-op mutation path ----------------------------------------
+    def _mutate_scalar(self, table, batch, idx, buckets, tally):
+        return self._mutate_impl(table, batch, idx, buckets, tally, None)
+
+    def _mutate_vectorized(self, table, batch, idx, buckets, tally):
+        return self._mutate_impl(table, batch, idx, buckets, tally, {})
+
+    def _mv_find(self, table, chains, bufs, b, key, tally, trace):
+        """Newest resident same-key key entry; fresh walk or memo.
+
+        Returns ``(hit, blocked, t, chain)`` with ``hit = (buf, off, seg,
+        flags, addr)``; flags are read fresh from the entry."""
+        head = int(table.buckets.head_cpu[b])
+        if chains is None:
+            hit, blocked = self._find_key_mut(
+                table, bufs, head, key, tally, trace
+            )
+            return hit, blocked, None, None
+        chain = chains.get(b)
+        if chain is None:
+            chain = self._materialize_keychain(table, head)
+            chains[b] = chain
+        got = chain.resolve(key, tally, trace)
+        if got is None:
+            return None, chain.blocked, None, chain
+        t, (buf, off, seg), _memo_flags = got
+        return (buf, off, seg, E.get_flags(buf, off), chain.addrs[t]), \
+            False, t, chain
+
+    def _lookup_mv(self, table, b, key, tally) -> list[bytes]:
+        """Full CPU-chain lookup: newest live key entry's values, plus any
+        older duplicates (forced evictions split a key's values across
+        entries) until a shadow or tombstone closes the key.  Returned
+        oldest-first to match the dict-model's append order."""
+        heap = table.heap
+        page_size = heap.page_size
+        addr = int(table.buckets.head_cpu[b])
+        klen_key = len(key)
+        out: list[bytes] = []
+        while addr != NULL:
+            seg, off = divmod(addr, page_size)
+            buf = heap.segment_view(seg)
+            hdr = E.read_key_entry_header(buf, off)
+            next_cpu, vhead_cpu, klen, flags = hdr[1], hdr[3], hdr[4], hdr[5]
+            tally.probe_steps += 1
+            tally.bytes_touched += E.KEY_ENTRY_HEADER + klen
+            if (
+                klen == klen_key
+                and E.key_entry_key(buf, off, klen) == key
+                # skip empty PENDING entries: unacknowledged
+                and not (flags & E.FLAG_PENDING and vhead_cpu == NULL)
+            ):
+                if flags & E.FLAG_TOMBSTONE:
+                    break
+                vaddr = vhead_cpu
+                while vaddr != NULL:
+                    vseg, voff = divmod(vaddr, page_size)
+                    vbuf = heap.segment_view(vseg)
+                    vh = E.read_value_node_header(vbuf, voff)
+                    tally.probe_steps += 1
+                    tally.bytes_touched += E.VALUE_NODE_HEADER + vh[2]
+                    out.append(E.value_node_value(vbuf, voff, vh[2]))
+                    vaddr = vh[1]
+                if flags & E.FLAG_SHADOW:
+                    break
+            addr = next_cpu
+        out.reverse()
+        return out
+
+    def _mutate_impl(self, table, batch, idx, buckets, tally, chains):
+        """In-order mixed-op loop (see BasicOrganization._mutate_impl)."""
+        heap = table.heap
+        alloc = table.alloc
+        head_gpu = table.buckets.head_gpu
+        head_cpu = table.buckets.head_cpu
+        group_size = table.buckets.group_size
+        trace = table.trace
+        muts = table.mutations
+        replace = batch.update_policy == "replace"
+        all_keys = batch.key_bytes_list()
+        op_list = batch.ops.tolist()
+        idx_list = idx.tolist()
+        bucket_list = buckets.tolist()
+        success = np.zeros(len(idx), dtype=bool)
+        bufs: dict[int, np.ndarray] = {}
+        for j, i in enumerate(idx_list):
+            b = bucket_list[j]
+            group = b // group_size
+            key = all_keys[i]
+            op = op_list[i]
+            tally.attempted += 1
+            tally.table_cycles += HASH_CYCLES_PER_BYTE * len(key)
+            if alloc.group_failed(group):
+                tally.postponed += 1
+                muts.gate_postponed += 1
+                continue
+            if op == OP_LOOKUP:
+                batch.lookup_results[i] = self._lookup_mv(table, b, key, tally)
+                tally.succeeded += 1
+                muts.lookups += 1
+                success[j] = True
+                continue
+            if op == OP_DELETE:
+                hit, blocked, t, chain = self._mv_find(
+                    table, chains, bufs, b, key, tally, trace
+                )
+                if hit is not None:
+                    kbuf, koff, kseg, fl, addr = hit
+                    if fl & E.FLAG_TOMBSTONE:
+                        muts.deletes_noop += 1
+                    else:
+                        if fl & E.FLAG_PENDING:
+                            # a pinned key that dies stops pinning its page
+                            self._clear_pending(table, kbuf, kseg, koff)
+                        cur = E.get_flags(kbuf, koff)
+                        E.set_flags(kbuf, koff, cur | E.FLAG_TOMBSTONE)
+                        if chain is not None:
+                            chain.mark(t, E.FLAG_TOMBSTONE)
+                        alloc.note_tombstone(E.key_entry_size(len(key)))
+                        tally.table_cycles += TOMBSTONE_CYCLES
+                        tally.bytes_touched += 4
+                        if trace is not None:
+                            trace.on_access(addr, 4)
+                        muts.deletes_inplace += 1
+                    tally.succeeded += 1
+                    success[j] = True
+                    continue
+                if not blocked:
+                    muts.deletes_noop += 1
+                    tally.succeeded += 1
+                    success[j] = True
+                    continue
+                # chain continues into evicted memory: born-dead key entry
+                ksize = E.key_entry_size(len(key))
+                tally.table_cycles += INSERT_CYCLES
+                a = alloc.allocate(group, ksize, PageKind.KEY)
+                if a is None:
+                    tally.postponed += 1
+                    continue
+                kbuf = heap.pool.slot_view(a.page.slot)
+                E.write_key_entry(
+                    kbuf, a.offset, int(head_gpu[b]), int(head_cpu[b]), key
+                )
+                E.set_flags(kbuf, a.offset, E.FLAG_TOMBSTONE)
+                head_gpu[b] = a.gpu_addr
+                head_cpu[b] = a.cpu_addr
+                alloc.note_tombstone(ksize)
+                tally.bytes_touched += ksize + 16
+                tally.alloc_groups.append(group)
+                if trace is not None:
+                    trace.on_access(a.cpu_addr, ksize)
+                if chain is not None:
+                    chain.append_head(
+                        a.cpu_addr, E.KEY_ENTRY_HEADER + len(key), key,
+                        (kbuf, a.offset, a.page.segment),
+                        flags=E.FLAG_TOMBSTONE,
+                    )
+                muts.deletes_tombstones += 1
+                tally.succeeded += 1
+                success[j] = True
+                continue
+            # OP_INSERT / OP_UPDATE: both append one value node
+            value = batch.value_bytes(i)
+            tally.table_cycles += INSERT_CYCLES
+            hit, blocked, t, chain = self._mv_find(
+                table, chains, bufs, b, key, tally, trace
+            )
+            if hit is not None and hit[3] & E.FLAG_TOMBSTONE:
+                hit = None  # deleted key: a fresh key entry supersedes it
+            if op == OP_UPDATE and replace:
+                # a shadow key entry replaces the whole value list; an
+                # earlier pass's failed replace (our own empty pending
+                # shadow) is completed instead of duplicated
+                reuse = (
+                    hit is not None
+                    and hit[3] & E.FLAG_SHADOW
+                    and hit[3] & E.FLAG_PENDING
+                    and E.read_key_entry_header(hit[0], hit[1])[3] == NULL
+                )
+                if not reuse:
+                    hit = None
+                    shadow = True
+                else:
+                    shadow = False
+            else:
+                shadow = False
+            created = False
+            if hit is None:
+                ksize = E.key_entry_size(len(key))
+                a = alloc.allocate(group, ksize, PageKind.KEY)
+                if a is None:
+                    tally.postponed += 1
+                    continue
+                kbuf = heap.pool.slot_view(a.page.slot)
+                bufs[a.page.segment] = kbuf
+                E.write_key_entry(
+                    kbuf, a.offset, int(head_gpu[b]), int(head_cpu[b]), key
+                )
+                if shadow:
+                    E.set_flags(kbuf, a.offset, E.FLAG_SHADOW)
+                head_gpu[b] = a.gpu_addr
+                head_cpu[b] = a.cpu_addr
+                tally.bytes_touched += ksize + 16
+                tally.alloc_groups.append(group)
+                if trace is not None:
+                    trace.on_access(a.cpu_addr, ksize)
+                if chain is not None:
+                    chain.append_head(
+                        a.cpu_addr, E.KEY_ENTRY_HEADER + len(key), key,
+                        (kbuf, a.offset, a.page.segment),
+                        flags=E.FLAG_SHADOW if shadow else 0,
+                    )
+                hit = (kbuf, a.offset, a.page.segment, 0, a.cpu_addr)
+                created = True
+            kbuf, koff, kseg = hit[0], hit[1], hit[2]
+            if self._append_value(table, tally, trace, kbuf, koff, group, value):
+                self._clear_pending(table, kbuf, kseg, koff)
+                tally.succeeded += 1
+                muts.value_nodes += 1
+                if op == OP_INSERT:
+                    muts.inserts += 1
+                elif created:
+                    muts.updates_entries += 1
+                else:
+                    muts.updates_inplace += 1
+                success[j] = True
+            else:
                 self._set_pending(table, kbuf, kseg, koff)
                 tally.postponed += 1
         return success

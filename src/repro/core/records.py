@@ -243,6 +243,15 @@ class RecordBatch:
         return len(self.key_lens)
 
     @property
+    def pure_insert(self) -> bool:
+        """Every record is an insert.  Trivially true here; mixed-op
+        batches (:class:`~repro.core.mutations.MutationBatch`) override
+        this, and dispatch sites branch on it rather than on type --
+        pure-insert batches keep legacy insert-batch semantics, including
+        exemption from the sticky-group postponement gate."""
+        return True
+
+    @property
     def staged_bytes(self) -> int:
         """Actual (unpadded) payload bytes in this batch."""
         total = int(self.key_lens.sum())

@@ -214,7 +214,7 @@ class SepoDriver:
                 pending = pending[:limit]
             local = pending - int(start)
             before = ledger.elapsed
-            result = self.table.insert_batch(batch, local)
+            result = self.table.apply_batch(batch, local)
             self.kernel.charge(result.stats)
             kernel_seconds = ledger.elapsed - before
             self.pipeline.account(batch.input_bytes, kernel_seconds)

@@ -34,6 +34,12 @@ class AllocationStats:
     postponed: int = 0
     pages_taken: int = 0
     bytes_allocated: int = 0
+    #: logically deleted (tombstoned) entries and their byte sizes.  The
+    #: slots stay allocated -- structural reclaim would dangle the CPU
+    #: pointer chains -- so this tracks the space a future compaction pass
+    #: could recover; the sanitizer reconciles it against the chain census.
+    entries_tombstoned: int = 0
+    bytes_tombstoned: int = 0
 
 
 @dataclass
@@ -342,6 +348,44 @@ class BucketGroupAllocator:
             self._failed_groups.update(int(g) for g in np.unique(groups))
 
     # ------------------------------------------------------------------
+    def note_tombstone(self, nbytes: int) -> None:
+        """Record that an ``nbytes`` entry was logically deleted in place.
+
+        Tombstoned extents remain allocated (and reachable through their
+        chains), so ``bytes_allocated`` is untouched; this only sizes the
+        reclaimable backlog for a future compaction pass.
+        """
+        if nbytes <= 0:
+            raise ValueError("tombstoned entry size must be positive")
+        self.stats.entries_tombstoned += 1
+        self.stats.bytes_tombstoned += nbytes
+
+    # ------------------------------------------------------------------
+    def group_failed(self, group: int) -> bool:
+        """Did ``group``'s last allocation this iteration get postponed?
+
+        Mutation batches use this as their postponement gate: an op whose
+        bucket group is sticky-failed postpones up front, so a postponed
+        delete/update can never be overtaken by a later same-key op (same
+        key -> same bucket -> same group) before its replay.
+        """
+        return group in self._failed_groups
+
+    def note_failure(self, group: int) -> None:
+        """Mark ``group`` sticky-failed without an allocation attempt.
+
+        Mutation paths that postpone for a non-allocator reason must still
+        poison the group, or later same-key ops would slip past the gate.
+        """
+        if not 0 <= group < self.n_groups:
+            raise ValueError(f"group {group} out of range [0, {self.n_groups})")
+        self._failed_groups.add(group)
+
+    @property
+    def has_failures(self) -> bool:
+        """Any bucket group sticky-failed this iteration?"""
+        return bool(self._failed_groups)
+
     @property
     def failed_fraction(self) -> float:
         """Fraction of bucket groups whose last allocation was postponed."""

@@ -1,7 +1,10 @@
 """SIGKILL-and-resume conformance harness (``python -m repro.resilience.crashtest``).
 
-The parent process runs three seeded fault schedules against the
-WordCount application.  For each schedule it:
+The parent process runs seeded fault schedules against the WordCount
+application, plus one ``mutation`` schedule that SIGKILLs inside a
+delete-heavy :class:`~repro.core.mutations.MutationBatch` pass (the
+journal must carry tombstone/mutation counters for the resumed run to
+stay byte-identical).  For each schedule it:
 
 1. computes an *uninterrupted oracle* in-process -- a
    :class:`~repro.resilience.ResilientDriver` run with the schedule's
@@ -43,11 +46,15 @@ from repro.resilience.journal import table_digest
 
 __all__ = ["SCHEDULES", "main"]
 
-#: (checkpoint cadence, kill after Nth checkpoint, + this many inserts)
+#: (checkpoint cadence, kill after Nth checkpoint, + this many batch
+#: calls).  ``mutation`` schedules stream delete-heavy MutationBatches,
+#: so the SIGKILL lands between delete/update passes, mid-mutation-run.
 SCHEDULES = [
     {"checkpoint_every": 1, "after_checkpoint": 1, "inserts": 3},
     {"checkpoint_every": 1, "after_checkpoint": 2, "inserts": 5},
     {"checkpoint_every": 2, "after_checkpoint": 1, "inserts": 7},
+    {"checkpoint_every": 1, "after_checkpoint": 1, "inserts": 2,
+     "mutation": True},
 ]
 
 
@@ -63,8 +70,43 @@ def _result_crc(result: dict) -> int:
     return crc
 
 
+def _build_mutation(args):
+    """Delete-heavy MutationBatch stream over a basic-organization table.
+
+    Returns the same 5-tuple shape as :func:`_build`, with the dict-model
+    reference (already normalized to sorted value lists) in the ``data``
+    slot -- the oracle phase consumes it directly instead of calling an
+    application's ``reference``.
+    """
+    from repro.core.organizations import BasicOrganization
+    from repro.sanitize.workloads import (
+        make_mutation_batches,
+        make_op_workload,
+        mutation_oracle,
+    )
+
+    n_ops = max(600, args.size // 40)
+    workload = make_op_workload(
+        "delete-heavy-uniform", n_ops, seed=args.seed
+    )
+    batches = make_mutation_batches(
+        workload, "basic", batch_size=max(50, n_ops // 12)
+    )
+    session = GpuSession(GTX_780TI, args.scale, 1 << 20)
+    table, driver = session.build_table(
+        n_buckets=args.buckets,
+        organization=BasicOrganization(),
+        page_size=4096,
+        n_records=sum(len(b) for b in batches),
+    )
+    reference = mutation_oracle(workload, "basic")[0]
+    return None, reference, batches, table, driver
+
+
 def _build(args):
     """WordCount wired exactly like ``Application.run_gpu`` would."""
+    if getattr(args, "mutation", False):
+        return _build_mutation(args)
     app = WordCount()
     data = app.generate_input(args.size, seed=args.seed)
     chunk = GpuSession.clamp_chunk(GTX_780TI, args.scale, app.chunk_bytes)
@@ -94,18 +136,22 @@ def _child(args) -> int:
             checkpoint(batches_, state)
             seen["checkpoints"] += 1
 
-        insert_batch = table.insert_batch
+        def killing(original):
+            def wrapped(*a, **kw):
+                if seen["checkpoints"] >= args.kill_after_checkpoint:
+                    seen["inserts"] += 1
+                    if seen["inserts"] > args.kill_inserts:
+                        # Die the hard way: no atexit, no cleanup, no flush.
+                        os.kill(os.getpid(), signal.SIGKILL)
+                return original(*a, **kw)
 
-        def killing_insert(*a, **kw):
-            if seen["checkpoints"] >= args.kill_after_checkpoint:
-                seen["inserts"] += 1
-                if seen["inserts"] > args.kill_inserts:
-                    # Die the hard way: no atexit, no cleanup, no flushing.
-                    os.kill(os.getpid(), signal.SIGKILL)
-            return insert_batch(*a, **kw)
+            return wrapped
 
         resilient.checkpoint = counting_checkpoint
-        table.insert_batch = killing_insert
+        # mutation batches route through mutate_batch; wrap both entry
+        # points so the kill lands mid-pass either way
+        table.insert_batch = killing(table.insert_batch)
+        table.mutate_batch = killing(table.mutate_batch)
 
     report = resilient.run(batches, resume=args.resume)
     print(json.dumps({
@@ -127,6 +173,8 @@ def _spawn(args, journal, schedule, resume: bool):
         "--size", str(args.size), "--seed", str(args.seed),
         "--scale", str(args.scale), "--buckets", str(args.buckets),
     ]
+    if schedule.get("mutation"):
+        cmd.append("--mutation")
     if resume:
         cmd.append("--resume")
     else:
@@ -141,14 +189,23 @@ def _spawn(args, journal, schedule, resume: bool):
 def _oracle(args, cadence: int, workdir: str):
     """Uninterrupted resilient run with the given checkpoint cadence."""
     app, data, batches, table, driver = _build(args)
+    mutation = getattr(args, "mutation", False)
+    suffix = "-mut" if mutation else ""
     resilient = ResilientDriver(
         driver,
-        journal_path=os.path.join(workdir, f"oracle-{cadence}.npz"),
+        journal_path=os.path.join(workdir, f"oracle-{cadence}{suffix}.npz"),
         checkpoint_every=cadence,
     )
     report = resilient.run(batches)
-    reference = app.reference(data)
-    assert report.table.result() == reference, (
+    if mutation:
+        # data is the dict-model reference (sorted value lists); the
+        # table's chains are newest-first, so normalize before comparing
+        reference = data
+        actual = {k: sorted(v) for k, v in report.table.result().items()}
+    else:
+        reference = app.reference(data)
+        actual = report.table.result()
+    assert actual == reference, (
         "oracle run disagrees with the pure-Python reference"
     )
     return {
@@ -184,6 +241,8 @@ def main(argv: list[str] | None = None) -> int:
                         help=argparse.SUPPRESS)
     parser.add_argument("--kill-inserts", type=int, default=0,
                         help=argparse.SUPPRESS)
+    parser.add_argument("--mutation", action="store_true",
+                        help=argparse.SUPPRESS)
     parser.add_argument("--size", type=int, default=200_000)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--scale", type=int, default=65_536)
@@ -195,14 +254,16 @@ def main(argv: list[str] | None = None) -> int:
         return _child(args)
 
     os.environ.setdefault("REPRO_SANITIZE", "paranoid")
-    oracles: dict[int, dict] = {}
+    oracles: dict[tuple[int, bool], dict] = {}
     failures = 0
     with tempfile.TemporaryDirectory(prefix="crashtest-") as workdir:
         for i, schedule in enumerate(SCHEDULES, 1):
             cadence = schedule["checkpoint_every"]
-            if cadence not in oracles:
-                oracles[cadence] = _oracle(args, cadence, workdir)
-            oracle = oracles[cadence]
+            args.mutation = bool(schedule.get("mutation"))
+            key = (cadence, args.mutation)
+            if key not in oracles:
+                oracles[key] = _oracle(args, cadence, workdir)
+            oracle = oracles[key]
             journal = os.path.join(workdir, f"schedule-{i}.npz")
 
             victim = _spawn(args, journal, schedule, resume=False)
@@ -245,6 +306,7 @@ def main(argv: list[str] | None = None) -> int:
                       f"inserts, resumed at iteration {out['resumed_from']}, "
                       f"byte-identical through iteration {out['iterations']}")
 
+    args.mutation = False
     _retry_phase(args)
     if failures:
         print(f"{failures} schedule(s) failed")

@@ -293,6 +293,15 @@ class ResilientDriver:
             pending = state.bitmap.pending_in(int(start), int(start) + len(batch))
             if pending.size == 0:
                 continue
+            if not batch.pure_insert:
+                # A host overflow merges *additively* into the result;
+                # pending deletes/updates cannot be expressed that way
+                # (they would have to mutate the GPU table's own entries),
+                # so this rung is unsound for mixed-op batches.
+                raise NoProgressError(
+                    "CPU fallback cannot absorb a mutation batch "
+                    f"(deletes/updates pending): {reason}"
+                )
             keys = batch.key_bytes_list()
             for i in (pending - int(start)).tolist():
                 key = keys[i]

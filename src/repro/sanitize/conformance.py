@@ -21,6 +21,13 @@ loss.  Baselines without a retry path run under-provisioned cases that
 must fail with their documented clean exception, never silently drop
 records.
 
+SEPO implementations additionally run *mutation* cells
+(``sepo-mut-*``): mixed-op and delete-heavy :class:`~repro.core.
+mutations.MutationBatch` streams held to the dict-model oracle -- the
+final mapping and every interleaved lookup's result must match, and the
+delete-heavy fault cells land pool exhaustion / mid-iteration eviction
+on delete calls.
+
 Runnable as a CI gate::
 
     python -m repro.sanitize.conformance --seed 1 --n 400 --sanitize end
@@ -33,13 +40,21 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.sanitize import faults as F
-from repro.sanitize.workloads import make_batches, make_workload, oracle
+from repro.sanitize.workloads import (
+    make_batches,
+    make_mutation_batches,
+    make_op_workload,
+    make_workload,
+    mutation_oracle,
+    oracle,
+)
 
 __all__ = [
     "ImplSpec",
     "Outcome",
     "IMPLEMENTATIONS",
     "WORKLOAD_NAMES",
+    "MUTATION_WORKLOAD_NAMES",
     "diff_results",
     "run_case",
     "run_matrix",
@@ -47,6 +62,17 @@ __all__ = [
 ]
 
 WORKLOAD_NAMES = ("uniform", "zipf", "zipf105", "all-duplicates")
+
+#: mixed-op cells: every op-stream spec runs each of these
+MUTATION_WORKLOAD_NAMES = (
+    "mixed-uniform",
+    "mixed-zipf",
+    "mixed-all-duplicates",
+    "delete-heavy-uniform",
+    "delete-heavy-zipf",
+    "delete-heavy-all-duplicates",
+    "delete-then-reinsert",
+)
 
 # -- SEPO table sizing: deliberately tiny so every workload overflows the
 # -- heap and exercises postponement + eviction (the paths under test).
@@ -63,11 +89,14 @@ class ImplSpec:
     name: str
     #: value semantics: "combining" | "basic" | "multi-valued"
     mode: str
-    #: (batches, sanitize, fault) -> raw result mapping
+    #: (batches, sanitize, fault) -> raw result mapping; op-stream specs
+    #: return (result mapping, {global record index: lookup result})
     runner: Callable[..., dict]
     #: fault-injected cases: (fault_name, fault_or_none, expected_exc_or_none)
     #: -- expected_exc None means the run must recover and match the oracle
     fault_cases: tuple = ()
+    #: True: consumes MutationBatch streams (MUTATION_WORKLOAD_NAMES cells)
+    op_stream: bool = False
 
 
 @dataclass
@@ -123,6 +152,28 @@ def _run_sepo(org_factory, *, heap_pages=HEAP_PAGES):
             fault.install(table, driver)
         driver.run(batches)
         return table.result()
+
+    return runner
+
+
+def _run_sepo_mutation(org_factory, *, heap_pages=HEAP_PAGES):
+    """Runner for MutationBatch streams: returns (result, lookups).
+
+    Lookup results live on each batch keyed by batch-local index; they are
+    re-keyed to global stream indices so the cell can hold them to the
+    model's per-position answers.
+    """
+    base = _run_sepo(org_factory, heap_pages=heap_pages)
+
+    def runner(batches, sanitize, fault=None):
+        result = base(batches, sanitize, fault)
+        lookups: dict[int, object] = {}
+        offset = 0
+        for batch in batches:
+            for i, v in batch.lookup_results.items():
+                lookups[offset + i] = v
+            offset += len(batch)
+        return result, lookups
 
     return runner
 
@@ -217,6 +268,21 @@ def _sepo_fault_cases():
     )
 
 
+def _sepo_mutation_fault_cases():
+    """Deletes must survive the same faults inserts do.
+
+    These run against a delete-heavy stream (see ``run_matrix``), so the
+    denial window and the forced mid-iteration rearrangement land on
+    delete/update calls: a delete that hits pool exhaustion must postpone
+    (or tombstone in place) and replay, and a delete over a just-evicted
+    chain prefix must fall back to a born-dead tombstone entry.
+    """
+    return (
+        ("pool-exhaustion", lambda: F.PoolExhaustion(after_batches=1, deny_batches=1), None),
+        ("mid-iteration-eviction", lambda: F.MidIterationEviction(at_batch=1), None),
+    )
+
+
 def _org_basic(impl):
     def factory():
         from repro.core.organizations import BasicOrganization
@@ -271,6 +337,15 @@ def _build_registry() -> tuple[ImplSpec, ...]:
                     mode=mode,
                     runner=_run_sepo(org_for(impl)),
                     fault_cases=_sepo_fault_cases(),
+                )
+            )
+            specs.append(
+                ImplSpec(
+                    name=f"sepo-mut-{org_name}-{label}",
+                    mode=mode,
+                    runner=_run_sepo_mutation(org_for(impl)),
+                    fault_cases=_sepo_mutation_fault_cases(),
+                    op_stream=True,
                 )
             )
     specs.append(
@@ -366,6 +441,51 @@ def diff_results(expected: dict, actual: dict, limit: int = 5) -> list[str]:
 # ----------------------------------------------------------------------
 # execution
 # ----------------------------------------------------------------------
+def _diff_lookups(expected: dict, actual: dict, limit: int = 5) -> list[str]:
+    """Differences between the model's and the table's lookup results."""
+    diffs = []
+    for i in sorted(set(expected) | set(actual)):
+        if expected.get(i) != actual.get(i):
+            diffs.append(
+                f"lookup #{i}: expected {expected.get(i)!r}, "
+                f"got {actual.get(i)!r}"
+            )
+            if len(diffs) >= limit:
+                return diffs + ["..."]
+    return diffs
+
+
+def _run_op_stream_case(
+    spec: ImplSpec,
+    workload_name: str,
+    n: int,
+    seed: int,
+    sanitize: str,
+    batch_size: int,
+    fault_case=None,
+) -> Outcome:
+    """One mutation cell: final mapping AND every lookup must match."""
+    workload = make_op_workload(workload_name, n, seed)
+    batches = make_mutation_batches(workload, spec.mode, batch_size)
+    want_result, want_lookups = mutation_oracle(workload, spec.mode)
+    fault_name = fault_case[0] if fault_case is not None else None
+    try:
+        actual, lookups = spec.runner(
+            batches, sanitize,
+            fault_case[1]() if fault_case is not None else None,
+        )
+    except Exception as exc:  # noqa: BLE001 -- report, don't crash
+        return Outcome(
+            spec.name, workload_name, fault_name, False,
+            f"{type(exc).__name__}: {exc}",
+        )
+    diffs = diff_results(want_result, _normalize(actual, spec.mode))
+    diffs += _diff_lookups(want_lookups, lookups)
+    return Outcome(
+        spec.name, workload_name, fault_name, not diffs, "; ".join(diffs)
+    )
+
+
 def run_case(
     spec: ImplSpec,
     workload_name: str,
@@ -376,6 +496,10 @@ def run_case(
     fault_case=None,
 ) -> Outcome:
     """Run one matrix cell and compare against the dict oracle."""
+    if spec.op_stream:
+        return _run_op_stream_case(
+            spec, workload_name, n, seed, sanitize, batch_size, fault_case
+        )
     if fault_case is not None and fault_case[2] is not None:
         n = fault_case[2][2].get("n", n)
         batch_size = fault_case[2][2].get("batch_size", batch_size)
@@ -438,13 +562,20 @@ def run_matrix(
     for spec in IMPLEMENTATIONS:
         if impls is not None and spec.name not in impls:
             continue
-        for workload_name in WORKLOAD_NAMES:
+        names = MUTATION_WORKLOAD_NAMES if spec.op_stream else WORKLOAD_NAMES
+        for workload_name in names:
             outcomes.append(run_case(spec, workload_name, n, seed, sanitize))
         if include_faults:
+            # mutation fault cells run delete-heavy so the injected fault
+            # lands on delete/update calls, not just inserts
+            fault_workload = (
+                "delete-heavy-uniform" if spec.op_stream else "uniform"
+            )
             for fault_case in spec.fault_cases:
                 outcomes.append(
                     run_case(
-                        spec, "uniform", n, seed, sanitize, fault_case=fault_case
+                        spec, fault_workload, n, seed, sanitize,
+                        fault_case=fault_case,
                     )
                 )
     return outcomes
@@ -462,13 +593,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-faults", action="store_true", help="skip fault-injected cases"
     )
+    parser.add_argument(
+        "--impls", default=None,
+        help="comma-separated implementation names (default: all)",
+    )
+    parser.add_argument(
+        "--mutation-only", action="store_true",
+        help="run only the mutation-batch (sepo-mut-*) cells",
+    )
     args = parser.parse_args(argv)
+
+    impls = tuple(args.impls.split(",")) if args.impls else None
+    if args.mutation_only:
+        mut = tuple(s.name for s in IMPLEMENTATIONS if s.op_stream)
+        impls = tuple(n for n in impls if n in mut) if impls else mut
 
     outcomes = run_matrix(
         seed=args.seed,
         n=args.n,
         sanitize=args.sanitize,
         include_faults=not args.no_faults,
+        impls=impls,
     )
     failures = [o for o in outcomes if not o.ok]
     for o in outcomes:

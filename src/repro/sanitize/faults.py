@@ -72,11 +72,14 @@ class PoolExhaustion(Fault):
     def install(self, table, driver=None) -> None:
         heap = table.heap
         pool = heap.pool
-        original = table.insert_batch
+        original_insert = table.insert_batch
+        original_mutate = table.mutate_batch
         state = {"batch": 0}
         held: list[int] = []
 
-        def insert_batch(batch, indices=None):
+        # One shared batch counter: mutation batches stress the same pool,
+        # so the denial window counts insert and mutate calls alike.
+        def gate():
             i = state["batch"]
             state["batch"] += 1
             if i == self.after_batches and not held:
@@ -91,14 +94,22 @@ class PoolExhaustion(Fault):
                     pool.release(slot)
                 held.clear()
                 heap.fault_reserved_slots = set()
-            return original(batch, indices)
+
+        def insert_batch(batch, indices=None):
+            gate()
+            return original_insert(batch, indices)
+
+        def mutate_batch(batch, indices=None):
+            gate()
+            return original_mutate(batch, indices)
 
         table.insert_batch = insert_batch
+        table.mutate_batch = mutate_batch
 
 
 class MidIterationEviction(Fault):
     """Trigger a full end-of-iteration rearrangement right after the
-    ``at_batch``-th insert_batch call."""
+    ``at_batch``-th batch call (insert and mutate batches both count)."""
 
     name = "mid-iteration-eviction"
 
@@ -111,17 +122,24 @@ class MidIterationEviction(Fault):
         return f"{self.name}(at_batch={self.at_batch})"
 
     def install(self, table, driver=None) -> None:
-        original = table.insert_batch
+        original_insert = table.insert_batch
+        original_mutate = table.mutate_batch
         state = {"calls": 0}
 
-        def insert_batch(batch, indices=None):
-            result = original(batch, indices)
+        def after_call(result):
             state["calls"] += 1
             if state["calls"] == self.at_batch:
                 table.end_iteration()
             return result
 
+        def insert_batch(batch, indices=None):
+            return after_call(original_insert(batch, indices))
+
+        def mutate_batch(batch, indices=None):
+            return after_call(original_mutate(batch, indices))
+
         table.insert_batch = insert_batch
+        table.mutate_batch = mutate_batch
 
 
 class ZeroCapacityStart(Fault):

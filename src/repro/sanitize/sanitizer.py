@@ -35,6 +35,9 @@ Table reachability (:func:`check_table`), on top of the heap checks:
   hops all land on resident slots (the dual-pointer contract),
 * every page that was ever taken hosts at least one reachable extent
   (no leaked pages),
+* tombstoned entries count as reachable (never a leak) but dead (never
+  live data), and the dead census must equal the allocator's reclaim
+  ledger (``entries_tombstoned`` / ``bytes_tombstoned``),
 * the allocator's byte/success counters reconcile with the extent census,
   and each organization's :meth:`~repro.core.organizations.Organization.
   reconcile_tally` hook agrees with the census (e.g. the basic method must
@@ -137,6 +140,10 @@ class SanitizeReport:
     n_entries: int = 0  # generic or key entries reachable via bucket chains
     n_value_nodes: int = 0  # multi-valued value-list nodes
     reachable_bytes: int = 0
+    #: tombstoned entries: reachable (not leaks) but dead (not live data).
+    #: The allocator's reclaim ledger must agree with this census.
+    n_dead_entries: int = 0
+    dead_bytes: int = 0
 
     def flag(self, kind: str, message: str) -> None:
         self.violations.append(Violation(kind, message))
@@ -378,6 +385,9 @@ def _walk_generic(table, arena: _Arena, report: SanitizeReport) -> None:
             if not _claim(report, arena, addr, size, what):
                 break
             report.n_entries += 1
+            if E.entry_flags(buf, off) & E.GFLAG_TOMBSTONE:
+                report.n_dead_entries += 1
+                report.dead_bytes += size
             chain_cpu.append(addr)
             addr = next_cpu
         _check_gpu_chain(
@@ -416,6 +426,9 @@ def _walk_multivalued(table, arena: _Arena, report: SanitizeReport) -> None:
             if not _claim(report, arena, addr, size, what):
                 break
             report.n_entries += 1
+            if flags & E.FLAG_TOMBSTONE:
+                report.n_dead_entries += 1
+                report.dead_bytes += size
             chain_cpu.append(addr)
             if flags & E.FLAG_PENDING and heap._resident.get(seg) is not None:
                 pending_per_seg[seg] = pending_per_seg.get(seg, 0) + 1
@@ -623,6 +636,23 @@ def _reconcile_tallies(table, report: SanitizeReport) -> None:
             "alloc-bytes",
             f"allocator handed out {stats.bytes_allocated} bytes but "
             f"{report.reachable_bytes} bytes are reachable",
+        )
+    # Tombstones are reachable-but-dead: the census of flagged entries must
+    # match the allocator's reclaim ledger exactly, or tombstoned slots are
+    # being double-reclaimed / silently resurrected.
+    if report.n_dead_entries != stats.entries_tombstoned:
+        report.flag(
+            "tombstone-census",
+            f"allocator reclaim ledger holds {stats.entries_tombstoned} "
+            f"tombstoned entries but {report.n_dead_entries} dead entries "
+            "are reachable",
+        )
+    if report.dead_bytes != stats.bytes_tombstoned:
+        report.flag(
+            "tombstone-bytes",
+            f"allocator reclaim ledger holds {stats.bytes_tombstoned} "
+            f"tombstoned bytes but {report.dead_bytes} dead bytes are "
+            "reachable",
         )
     for message in table.org.reconcile_tally(table, report):
         report.flag("tally", message)

@@ -1,0 +1,183 @@
+"""Reader-path semantics over mutated tables.
+
+Every CPU-side read path shares one newest-first merge automaton: a
+tombstone closes its key (older copies are dead), a shadow entry yields its
+own payload then closes the key, and a PENDING multi-valued key entry --
+allocated for a postponed op but never acknowledged -- is invisible.  This
+module pins that automaton across :class:`LookupDriver` (both impls),
+checkpoint round-trips (:func:`save_table`/:func:`load_table`), and the
+live table's ``cpu_items``/``result``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BasicOrganization,
+    CombiningOrganization,
+    GpuHashTable,
+    LookupDriver,
+    MultiValuedOrganization,
+    MutationBatch,
+    OP_DELETE,
+    OP_INSERT,
+    OP_UPDATE,
+    SUM_I64,
+    load_table,
+    save_table,
+)
+from repro.gpusim import CostLedger, GTX_780TI, KernelModel, PCIeBus
+from repro.memalloc import GpuHeap
+
+ORGS = ["basic", "combining", "multi-valued"]
+
+
+def make_org(kind, impl="vectorized"):
+    if kind == "basic":
+        return BasicOrganization(impl=impl)
+    if kind == "combining":
+        return CombiningOrganization(SUM_I64, impl=impl)
+    return MultiValuedOrganization(impl=impl)
+
+
+def mutated_table(kind, impl="vectorized", heap_bytes=1 << 16,
+                  page_size=1 << 12):
+    """alpha: inserted, updated; beta: deleted; gamma: never touched live."""
+    heap = GpuHeap(heap_bytes, page_size)
+    table = GpuHashTable(32, make_org(kind, impl), heap, group_size=8)
+    val = (lambda v: v) if kind == "combining" else (lambda v: b"v%d" % v)
+    triples = [
+        (OP_INSERT, b"alpha", val(1)),
+        (OP_INSERT, b"beta", val(2)),
+        (OP_UPDATE, b"alpha", val(3)),
+        (OP_INSERT, b"gamma", val(4)),
+        (OP_DELETE, b"beta", val(0)),
+        (OP_DELETE, b"missing", val(0)),
+    ]
+    batch = MutationBatch.from_ops(
+        triples,
+        numeric_dtype=np.int64 if kind == "combining" else None,
+    )
+    res = table.mutate_batch(batch)
+    assert res.success.all()
+    table.end_iteration()
+    return table
+
+
+EXPECT = {
+    # key -> (basic newest value, combining scalar, multi-valued list)
+    b"alpha": (b"v3", 4, [b"v1", b"v3"]),
+    b"beta": (None, None, None),
+    b"gamma": (b"v4", 4, [b"v4"]),
+    b"missing": (None, None, None),
+}
+
+#: FrozenTable.get keeps the basic method's full kept-value list
+GET_EXPECT = {
+    b"alpha": ([b"v3"], 4, [b"v1", b"v3"]),
+    b"beta": (None, None, None),
+    b"gamma": ([b"v4"], 4, [b"v4"]),
+    b"missing": (None, None, None),
+}
+
+
+@pytest.mark.parametrize("kind", ORGS)
+@pytest.mark.parametrize("impl", ["vectorized", "slow_reference"])
+def test_lookup_driver_resolves_tombstones_and_shadows(kind, impl):
+    table = mutated_table(kind)
+    ledger = CostLedger()
+    driver = LookupDriver(
+        table, KernelModel(GTX_780TI, ledger), PCIeBus(ledger), impl=impl,
+    )
+    keys = list(EXPECT)
+    result = driver.lookup(keys)
+    col = ORGS.index(kind)
+    assert result.values == [EXPECT[k][col] for k in keys]
+
+
+@pytest.mark.parametrize("kind", ORGS)
+def test_checkpoint_roundtrip_with_tombstones(kind, tmp_path):
+    table = mutated_table(kind)
+    path = tmp_path / "frozen.npz"
+    save_table(table, path)
+    frozen = load_table(path)
+    assert frozen.result() == table.result()
+    assert b"beta" not in frozen.result()
+    col = ORGS.index(kind)
+    for key, row in GET_EXPECT.items():
+        assert frozen.get(key) == row[col]
+
+
+@pytest.mark.parametrize("kind", ORGS)
+def test_deleted_keys_absent_from_all_views(kind):
+    table = mutated_table(kind)
+    assert b"beta" not in table.result()
+    assert b"beta" not in {k for k, _ in table.cpu_items()}
+    report = table.check_invariants()
+    assert not report.violations
+    assert report.n_dead_entries == table.alloc.stats.entries_tombstoned > 0
+    assert report.dead_bytes == table.alloc.stats.bytes_tombstoned > 0
+
+
+# ----------------------------------------------------------------------
+# PENDING multi-valued key entries: allocated but unacknowledged
+# ----------------------------------------------------------------------
+def test_mv_pending_entry_invisible_until_acknowledged():
+    """A postponed MV insert leaves a PENDING key entry (no value yet); no
+    reader may surface it as an empty value list."""
+    table = GpuHashTable(
+        16, MultiValuedOrganization(), GpuHeap(3 * 256, 256), group_size=2,
+    )
+    batch = MutationBatch.from_ops(
+        [(OP_INSERT, b"k00", b"v0"), (OP_INSERT, b"\x00", b"v0")]
+    )
+    res = table.mutate_batch(batch)
+    assert list(res.success) == [True, False], (
+        "fixture drift: second insert was expected to postpone"
+    )
+    assert list(table.cpu_items()) == [(b"k00", [b"v0"])]
+    assert b"\x00" not in table.result()
+    # acknowledge on the reissue pass; now it is data
+    table.end_iteration()
+    res = table.mutate_batch(batch, np.array([1]))
+    assert res.success.all()
+    table.end_iteration()
+    assert table.result() == {b"k00": [b"v0"], b"\x00": [b"v0"]}
+
+
+def test_mv_pending_shadow_does_not_mask_older_values():
+    """A postponed replace-update allocates a SHADOW|PENDING entry; until
+    its value lands, readers must keep answering with the old list."""
+    heap = GpuHeap(1 << 14, 512)
+    table = GpuHashTable(
+        8, MultiValuedOrganization(), heap, group_size=2,
+    )
+    res = table.mutate_batch(MutationBatch.from_ops(
+        [(OP_INSERT, b"key", b"old%d" % i) for i in range(3)]
+    ))
+    assert res.success.all()
+    # dry up the pool so the replace's value node cannot allocate
+    held = []
+    while True:
+        slot = heap.pool.take()
+        if slot is None:
+            break
+        held.append(slot)
+    heap.fault_reserved_slots = set(held)
+    batch = MutationBatch.from_ops(
+        [(OP_UPDATE, b"key", b"new")], update_policy="replace"
+    )
+    res = table.mutate_batch(batch)
+    if not res.success[0]:
+        # the unacknowledged shadow must not supersede anything yet
+        assert table.result() == {b"key": [b"old0", b"old1", b"old2"]}
+        for slot in held:
+            heap.pool.release(slot)
+        heap.fault_reserved_slots = set()
+        table.end_iteration()
+        res = table.mutate_batch(batch)
+        assert res.success.all()
+    table.end_iteration()
+    assert table.result() == {b"key": [b"new"]}
+    report = table.check_invariants()
+    assert not report.violations

@@ -1,0 +1,337 @@
+"""Differential mutation suite: mixed-op batches vs the scalar reference.
+
+Drives identical interleaved insert/update/delete/lookup streams through
+``impl="vectorized"`` and ``impl="slow_reference"`` on all three
+organizations -- across postponement and eviction boundaries -- and asserts
+success masks, :class:`InsertTally` fields, :class:`BatchStats`, lookup
+results, mutation counters, the tombstone census, and final ``result()``
+mappings are *identical*, with the dict model from
+:func:`repro.core.model_for_ops` as ground truth.
+
+Also pins the pre-aggregation gating rules: the combining fast path
+(``reduceat`` over in-batch duplicates) is only sound for insert/update-only
+batches on integer-reduce combiners, so float and callback combiners -- and
+any batch carrying a delete or lookup -- must take the replay walk, with
+tallies that still match the scalar reference bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BITOR_U64,
+    BasicOrganization,
+    CallbackCombiner,
+    CombiningOrganization,
+    GpuHashTable,
+    LookupDriver,
+    MultiValuedOrganization,
+    MutationBatch,
+    OP_DELETE,
+    OP_INSERT,
+    OP_LOOKUP,
+    OP_UPDATE,
+    SUM_F64,
+    SUM_I64,
+    SepoDriver,
+    load_table,
+    model_for_ops,
+    save_table,
+)
+from repro.gpusim import CostLedger, GTX_780TI, KernelModel, PCIeBus
+from repro.memalloc import GpuHeap
+
+ORGS = ["basic", "combining", "multi-valued"]
+IMPLS = ["vectorized", "slow_reference"]
+
+
+def make_org(kind, impl, combiner=SUM_I64):
+    if kind == "basic":
+        return BasicOrganization(impl=impl)
+    if kind == "combining":
+        return CombiningOrganization(combiner, impl=impl)
+    return MultiValuedOrganization(impl=impl)
+
+
+def mut_batch(kind, triples, policy="append", combiner=SUM_I64):
+    return MutationBatch.from_ops(
+        triples,
+        numeric_dtype=combiner.dtype if kind == "combining" else None,
+        update_policy=policy,
+    )
+
+
+def seeded_ops(seed, n, n_distinct, kind):
+    """Mixed op stream; values rendered for the organization's mode."""
+    rng = np.random.default_rng(seed)
+    codes = rng.choice(
+        [OP_INSERT, OP_UPDATE, OP_DELETE, OP_LOOKUP],
+        size=n, p=[0.4, 0.2, 0.2, 0.2],
+    )
+    keys = [b"k%04d" % i for i in rng.integers(0, n_distinct, size=n)]
+    vals = rng.integers(-50, 50, size=n)
+    if kind == "combining":
+        return [(int(o), k, int(v)) for o, k, v in zip(codes, keys, vals)]
+    return [(int(o), k, b"v%d" % v) for o, k, v in zip(codes, keys, vals)]
+
+
+def run_mutations(kind, impl, op_batches, heap_bytes=2048, page_size=256,
+                  n_buckets=32, group_size=8, policy="append",
+                  combiner=SUM_I64):
+    """Drive mutation batches to completion; return every observable."""
+    heap = GpuHeap(heap_bytes, page_size)
+    table = GpuHashTable(
+        n_buckets, make_org(kind, impl, combiner), heap,
+        group_size=group_size,
+    )
+    masks, tallies, stats, lookups = [], [], [], []
+    for triples in op_batches:
+        batch = mut_batch(kind, triples, policy, combiner)
+        pending = np.arange(len(batch))
+        guard = 0
+        while len(pending):
+            guard += 1
+            assert guard < 64, "workload does not converge"
+            res = table.mutate_batch(batch, pending)
+            masks.append(res.success.copy())
+            tallies.append(res.tally)
+            stats.append(res.stats)
+            pending = pending[~res.success]
+            if len(pending):
+                table.end_iteration()
+        lookups.append(dict(batch.lookup_results))
+        table.end_iteration()
+    return {
+        "table": table,
+        "masks": masks,
+        "tallies": tallies,
+        "stats": stats,
+        "lookups": lookups,
+        "census": table.check_invariants(),
+    }
+
+
+def assert_mut_identical(a, b):
+    assert len(a["masks"]) == len(b["masks"])
+    for ma, mb in zip(a["masks"], b["masks"]):
+        np.testing.assert_array_equal(ma, mb)
+    for ta, tb in zip(a["tallies"], b["tallies"]):
+        assert ta.attempted == tb.attempted
+        assert ta.succeeded == tb.succeeded
+        assert ta.postponed == tb.postponed
+        assert ta.probe_steps == tb.probe_steps
+        assert ta.bytes_touched == tb.bytes_touched
+        assert ta.table_cycles == tb.table_cycles  # bit-identical floats
+        assert ta.alloc_groups == tb.alloc_groups
+    for sa, sb in zip(a["stats"], b["stats"]):
+        assert sa.n_records == sb.n_records
+        assert sa.cycles_per_record == sb.cycles_per_record
+        assert sa.bytes_touched == sb.bytes_touched
+        assert sa.hottest_bucket == sb.hottest_bucket
+        assert sa.hottest_alloc == sb.hottest_alloc
+    assert a["lookups"] == b["lookups"]
+    ta, tb = a["table"], b["table"]
+    assert ta.mutations.snapshot() == tb.mutations.snapshot()
+    assert ta.total_mutated == tb.total_mutated
+    assert ta.alloc.stats.entries_tombstoned == tb.alloc.stats.entries_tombstoned
+    assert ta.alloc.stats.bytes_tombstoned == tb.alloc.stats.bytes_tombstoned
+    assert a["census"].n_dead_entries == b["census"].n_dead_entries
+    assert a["census"].dead_bytes == b["census"].dead_bytes
+    assert list(ta.cpu_items()) == list(tb.cpu_items())
+    assert ta.result() == tb.result()
+
+
+def model_reference(op_batches, kind, policy="append"):
+    flat = [t for triples in op_batches for t in triples]
+    model, _ = model_for_ops(
+        flat, kind=kind,
+        combiner=SUM_I64 if kind == "combining" else None,
+        update_policy=policy,
+    )
+    return model
+
+
+def assert_matches_model(table, op_batches, kind, policy="append"):
+    model = model_reference(op_batches, kind, policy)
+    if kind == "combining":
+        assert table.result() == model
+    else:
+        assert {k: sorted(v) for k, v in table.result().items()} == {
+            k: sorted(v) for k, v in model.items()
+        }
+
+
+# ----------------------------------------------------------------------
+# differential: vectorized vs slow_reference, model as ground truth
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ORGS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_mutation_differential_with_evictions(kind, seed):
+    """Small heap: postponed deletes/updates replay across iterations."""
+    spec = [seeded_ops(seed * 10 + i, 120, 60, kind) for i in range(2)]
+    a = run_mutations(kind, "vectorized", spec)
+    b = run_mutations(kind, "slow_reference", spec)
+    assert any(len(m) and not m.all() for m in a["masks"]), (
+        "workload was expected to exercise postponement"
+    )
+    assert_mut_identical(a, b)
+    assert_matches_model(a["table"], spec, kind)
+
+
+@pytest.mark.parametrize("kind", ORGS)
+def test_mutation_differential_no_pressure(kind):
+    spec = [seeded_ops(7, 200, 50, kind)]
+    a = run_mutations(kind, "vectorized", spec, heap_bytes=1 << 16,
+                      page_size=1 << 12)
+    b = run_mutations(kind, "slow_reference", spec, heap_bytes=1 << 16,
+                      page_size=1 << 12)
+    assert all(m.all() for m in a["masks"])
+    assert_mut_identical(a, b)
+    assert_matches_model(a["table"], spec, kind)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_multivalued_replace_policy_differential(seed):
+    """update_policy="replace": a shadow key entry supersedes the list."""
+    spec = [seeded_ops(seed + 70, 120, 40, "multi-valued")]
+    a = run_mutations("multi-valued", "vectorized", spec, policy="replace")
+    b = run_mutations("multi-valued", "slow_reference", spec,
+                      policy="replace")
+    assert_mut_identical(a, b)
+    assert_matches_model(a["table"], spec, "multi-valued", policy="replace")
+
+
+def test_mixed_ops_through_sepo_driver():
+    """A single SEPO run interleaves all four ops via apply_batch."""
+    kind = "basic"
+    spec = [seeded_ops(90 + i, 100, 50, kind) for i in range(2)]
+    results = {}
+    for impl in IMPLS:
+        ledger = CostLedger()
+        heap = GpuHeap(8 * 256, 256)
+        table = GpuHashTable(
+            32, make_org(kind, impl), heap, group_size=8, ledger=ledger,
+        )
+        driver = SepoDriver(
+            table, KernelModel(GTX_780TI, ledger), PCIeBus(ledger),
+            max_iterations=500,
+        )
+        batches = [mut_batch(kind, t) for t in spec]
+        report = driver.run(batches)
+        results[impl] = (
+            report.elapsed_seconds,
+            dict(table.result()),
+            [dict(b.lookup_results) for b in batches],
+            table.mutations.snapshot(),
+        )
+    assert results["vectorized"] == results["slow_reference"]
+    assert_matches_model(table, spec, kind)
+
+
+# ----------------------------------------------------------------------
+# pre-aggregation gating: which batches may take the reduceat fast path
+# ----------------------------------------------------------------------
+def _count_preagg(org):
+    """Instrument an organization instance's preagg entry point."""
+    calls = {"n": 0}
+    original = org._insert_preagg
+
+    def counting(*a, **kw):
+        calls["n"] += 1
+        return original(*a, **kw)
+
+    org._insert_preagg = counting
+    return calls
+
+
+def _run_combining(combiner, triples, impl="vectorized", instrument=True):
+    heap = GpuHeap(1 << 16, 1 << 12)
+    table = GpuHashTable(
+        16, CombiningOrganization(combiner, impl=impl), heap, group_size=4,
+    )
+    calls = _count_preagg(table.org) if instrument else None
+    batch = MutationBatch.from_ops(triples, numeric_dtype=combiner.dtype)
+    res = table.mutate_batch(batch)
+    assert res.success.all()
+    return table, res, calls, batch
+
+
+UPDATE_TRIPLES = [
+    (OP_INSERT, b"alpha", 3), (OP_UPDATE, b"alpha", 4),
+    (OP_INSERT, b"beta", 5), (OP_UPDATE, b"beta", 6),
+    (OP_UPDATE, b"gamma", 7),
+]
+
+
+@pytest.mark.parametrize("combiner", [
+    SUM_F64,
+    CallbackCombiner(lambda a, b: a + b, scalar="i64", name="cb-sum"),
+], ids=["float", "callback"])
+def test_non_vector_reduce_updates_take_replay_walk(combiner):
+    """Float rounding is association-sensitive and callbacks have no ufunc:
+    neither may pre-aggregate, even for an insert/update-only batch."""
+    assert not combiner.supports_vector_reduce
+    table, res, calls, _ = _run_combining(combiner, UPDATE_TRIPLES)
+    assert calls["n"] == 0, "replay walk expected, preagg kernel ran"
+    # and the replay walk stays bit-identical to the scalar reference
+    ref_table, ref, _, _ = _run_combining(
+        combiner, UPDATE_TRIPLES, impl="slow_reference", instrument=False
+    )
+    assert res.tally.probe_steps == ref.tally.probe_steps
+    assert res.tally.bytes_touched == ref.tally.bytes_touched
+    assert res.tally.table_cycles == ref.tally.table_cycles
+    assert table.result() == ref_table.result()
+
+
+def test_integer_reduce_insert_update_batch_uses_preagg():
+    """BitOr-style integer reduction: insert/update-only mutation batches
+    may collapse in-batch duplicates with reduceat."""
+    triples = [
+        (OP_INSERT, b"alpha", 1), (OP_UPDATE, b"alpha", 2),
+        (OP_INSERT, b"beta", 4), (OP_UPDATE, b"beta", 8),
+    ]
+    assert BITOR_U64.supports_vector_reduce
+    table, res, calls, _ = _run_combining(BITOR_U64, triples)
+    assert calls["n"] == 1, "integer-reduce upsert batch should preagg"
+    ref_table, ref, _, _ = _run_combining(
+        BITOR_U64, triples, impl="slow_reference", instrument=False
+    )
+    assert res.tally.probe_steps == ref.tally.probe_steps
+    assert res.tally.bytes_touched == ref.tally.bytes_touched
+    assert res.tally.table_cycles == ref.tally.table_cycles
+    assert table.result() == ref_table.result() == {b"alpha": 3, b"beta": 12}
+
+
+@pytest.mark.parametrize("op", [OP_DELETE, OP_LOOKUP],
+                         ids=["delete", "lookup"])
+def test_delete_or_lookup_in_batch_forces_replay(op):
+    """reduceat can only express upsert-combines: one delete or lookup in
+    the batch sends the whole batch down the replay walk."""
+    triples = UPDATE_TRIPLES + [(op, b"alpha", 0)]
+    _, _, calls, batch = _run_combining(SUM_I64, triples)
+    assert calls["n"] == 0, "mixed batch must not preagg"
+    if op == OP_LOOKUP:
+        assert batch.lookup_results[len(triples) - 1] == 7
+
+
+def test_tombstones_gate_insert_preagg():
+    """A tombstone anywhere in the table disables the closed-form insert
+    kernel: its probe accounting assumes insert-only chains."""
+    heap = GpuHeap(1 << 16, 1 << 12)
+    table = GpuHashTable(
+        16, CombiningOrganization(SUM_I64), heap, group_size=4,
+    )
+    table.mutate_batch(MutationBatch.from_ops(
+        [(OP_INSERT, b"alpha", 1), (OP_DELETE, b"alpha", 0)],
+        numeric_dtype=np.int64,
+    ))
+    assert table.alloc.stats.entries_tombstoned == 1
+    calls = _count_preagg(table.org)
+    from repro.core import RecordBatch
+
+    res = table.insert_batch(RecordBatch.from_numeric(
+        [b"alpha", b"beta"], np.array([5, 6], dtype=np.int64)
+    ))
+    assert res.success.all()
+    assert calls["n"] == 0, "tombstoned table must use the replay walk"
+    assert table.result() == {b"alpha": 5, b"beta": 6}

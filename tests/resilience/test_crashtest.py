@@ -66,7 +66,9 @@ def test_sigkill_and_resume_is_byte_identical(tmp_path):
 
 
 def test_crashtest_schedules_are_defined():
-    assert len(crashtest.SCHEDULES) == 3
+    assert len(crashtest.SCHEDULES) == 4
     for schedule in crashtest.SCHEDULES:
         assert schedule["checkpoint_every"] >= 1
         assert schedule["after_checkpoint"] >= 1
+    # exactly one schedule kills mid-mutation-pass (delete-heavy batches)
+    assert sum(bool(s.get("mutation")) for s in crashtest.SCHEDULES) == 1

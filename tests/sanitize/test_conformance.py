@@ -27,11 +27,18 @@ def test_registry_shape():
     assert len(C.WORKLOAD_NAMES) >= 3
 
 
-# one pytest case per cell so a failure names its (impl, workload) pair
+# one pytest case per cell so a failure names its (impl, workload) pair;
+# op-stream (sepo-mut-*) implementations consume the mutation workloads
 @pytest.mark.parametrize(
-    "impl", [s.name for s in C.IMPLEMENTATIONS]
+    "impl,workload",
+    [
+        (s.name, w)
+        for s in C.IMPLEMENTATIONS
+        for w in (
+            C.MUTATION_WORKLOAD_NAMES if s.op_stream else C.WORKLOAD_NAMES
+        )
+    ],
 )
-@pytest.mark.parametrize("workload", C.WORKLOAD_NAMES)
 def test_conformance_cell(impl, workload):
     spec = next(s for s in C.IMPLEMENTATIONS if s.name == impl)
     outcome = C.run_case(spec, workload, n=300, seed=11, sanitize="iteration")
@@ -49,8 +56,11 @@ def test_conformance_cell(impl, workload):
 def test_fault_injected_cell(impl, fault):
     spec = next(s for s in C.IMPLEMENTATIONS if s.name == impl)
     fault_case = next(fc for fc in spec.fault_cases if fc[0] == fault)
+    # mutation fault cells run delete-heavy so the injected fault lands on
+    # delete/update calls, mirroring run_matrix
+    workload = "delete-heavy-uniform" if spec.op_stream else "uniform"
     outcome = C.run_case(
-        spec, "uniform", n=300, seed=11, sanitize="end", fault_case=fault_case
+        spec, workload, n=300, seed=11, sanitize="end", fault_case=fault_case
     )
     assert outcome.ok, outcome.detail
 
