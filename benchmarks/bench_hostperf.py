@@ -18,7 +18,10 @@ the heavy-duplication regime where the in-batch pre-aggregation kernels
 collapse whole runs of duplicates into one chain probe).  A third
 ``mixed-ops`` cell times interleaved insert/update/delete/lookup
 mutation batches; it is tracked but not gated, because delete and lookup
-ops force the exact replay walk on both implementations.
+ops force the exact replay walk on both implementations.  A fourth
+``integrity-overhead`` cell (also tracked, not gated) times the insert +
+iteration-boundary path under ``integrity`` off|verify|scrub, measuring
+what per-page CRC32 sealing and the background scrub sweep cost the host.
 
 The pytest entry points double as the CI perf smoke: every organization's
 vectorized path must beat its scalar reference by at least 2x on the
@@ -163,6 +166,38 @@ def mutate_rps(kind: str, impl: str, triples, repeats: int = 3) -> float:
     return best
 
 
+#: integrity knob settings of the checksum-overhead cell
+INTEGRITY_CELL_MODES = ("off", "verify", "scrub")
+
+
+def integrity_rps(kind: str, mode: str, keys, values, repeats: int = 3) -> float:
+    """Best-of-``repeats`` records/sec through a full iteration boundary.
+
+    Times ``insert_batch`` + ``end_iteration`` + ``maybe_scrub`` so the
+    eviction-path checksum work is inside the measurement: quiescing
+    evicts every page, which in verify/scrub mode seals each one and
+    verifies the copy on arrival; scrub mode then adds one budgeted
+    background sweep over the stored segments.
+    """
+    n = len(keys)
+    best = 0.0
+    for _ in range(repeats):
+        batch = make_batch(kind, keys, values)
+        heap = GpuHeap(heap_bytes=48 << 20, page_size=64 << 10)
+        table = GpuHashTable(
+            4096, make_org(kind, "vectorized"), heap, group_size=64,
+            integrity=mode, scrub_budget=8,
+        )
+        t0 = time.perf_counter()
+        result = table.insert_batch(batch)
+        table.end_iteration()
+        table.maybe_scrub()
+        dt = time.perf_counter() - t0
+        assert result.success.all(), "workload must not be postponed"
+        best = max(best, n / dt)
+    return best
+
+
 def run_suite(n: int, repeats: int = 3) -> dict:
     distributions = {}
     for dist in DISTRIBUTIONS:
@@ -190,6 +225,26 @@ def run_suite(n: int, repeats: int = 3) -> dict:
             "speedup": round(vectorized / scalar, 2),
         }
     distributions["mixed-ops"] = mixed
+    # integrity-overhead cell: tracked, not gated -- measures what the
+    # checksum layer costs the host (CRC32 over every evicted page, plus
+    # the budgeted background sweep in scrub mode)
+    keys, values = make_workload(n, "uniform")
+    integrity = {}
+    for kind in KINDS:
+        rps = {
+            mode: integrity_rps(kind, mode, keys, values, repeats)
+            for mode in INTEGRITY_CELL_MODES
+        }
+        integrity[kind] = {
+            **{f"{mode}_rps": round(v) for mode, v in rps.items()},
+            "verify_overhead_pct": round(
+                100.0 * (rps["off"] / rps["verify"] - 1.0), 1
+            ),
+            "scrub_overhead_pct": round(
+                100.0 * (rps["off"] / rps["scrub"] - 1.0), 1
+            ),
+        }
+    distributions["integrity-overhead"] = integrity
     return {"n_records": n, "repeats": repeats, "distributions": distributions}
 
 
@@ -241,6 +296,17 @@ def test_mixed_ops_cell_runs():
         assert mutate_rps(kind, "vectorized", triples, repeats=1) > 0
 
 
+def test_integrity_overhead_cell_runs():
+    """Non-gating: the checksum-overhead cell must complete on every
+    organization in all three integrity modes (the off|verify|scrub
+    throughput is tracked in ``BENCH_hostperf.json``, not asserted --
+    the CRC overhead is a cost knob, not a regression)."""
+    keys, values = make_workload(2048, "uniform")
+    for kind in KINDS:
+        for mode in INTEGRITY_CELL_MODES:
+            assert integrity_rps(kind, mode, keys, values, repeats=1) > 0
+
+
 def test_hostperf_basic_vectorized(benchmark):
     keys, values = make_workload(SMOKE_N)
     batch = make_batch("basic", keys, values)
@@ -261,12 +327,17 @@ def test_hostperf_export_roundtrip(tmp_path):
     export(report, out)
     loaded = json.loads(out.read_text())
     assert loaded["n_records"] == 2048
-    assert set(loaded["distributions"]) == set(DISTRIBUTIONS) | {"mixed-ops"}
+    assert set(loaded["distributions"]) == (
+        set(DISTRIBUTIONS) | {"mixed-ops", "integrity-overhead"}
+    )
     for dist in (*DISTRIBUTIONS, "mixed-ops"):
         rows = loaded["distributions"][dist]
         assert set(rows) == set(KINDS)
         for row in rows.values():
             assert row["scalar_rps"] > 0 and row["vectorized_rps"] > 0
+    for row in loaded["distributions"]["integrity-overhead"].values():
+        for mode in INTEGRITY_CELL_MODES:
+            assert row[f"{mode}_rps"] > 0
 
 
 # ----------------------------------------------------------------------
@@ -282,6 +353,17 @@ def main(argv=None) -> None:
     print(f"wrote {EXPORT_PATH}")
     for dist, rows in report["distributions"].items():
         for kind, row in rows.items():
+            if dist == "integrity-overhead":
+                print(
+                    f"{dist:>8}/{kind:<13} "
+                    + "   ".join(
+                        f"{m} {row[f'{m}_rps']:>10,} rec/s"
+                        for m in INTEGRITY_CELL_MODES
+                    )
+                    + f"   (+{row['verify_overhead_pct']}% verify, "
+                    f"+{row['scrub_overhead_pct']}% scrub)"
+                )
+                continue
             print(
                 f"{dist:>8}/{kind:<13} scalar {row['scalar_rps']:>10,} rec/s"
                 f"   vectorized {row['vectorized_rps']:>10,} rec/s   "

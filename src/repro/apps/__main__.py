@@ -71,6 +71,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sanitize", choices=["off", "cheap", "paranoid"],
                         default=None,
                         help="sanitizer level (default: REPRO_SANITIZE)")
+    parser.add_argument("--integrity", choices=["off", "verify", "scrub"],
+                        default=None,
+                        help="checksum/scrub mode (default: REPRO_INTEGRITY, "
+                             "falling back to off; gpu only)")
+    parser.add_argument("--scrub-budget", type=int, default=4, metavar="N",
+                        help="pages the background scrubber sweeps per SEPO "
+                             "iteration (default 4; needs --integrity scrub)")
     parser.add_argument("--journal", default=None, metavar="PATH",
                         help="journal checkpoints to PATH (enables "
                              "crash-recoverable execution; gpu only)")
@@ -91,6 +98,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.device == "gpu":
         outcome = app.run_gpu(data, scale=args.scale, n_buckets=args.buckets,
                               page_size=4096, sanitize=args.sanitize,
+                              integrity=args.integrity,
+                              scrub_budget=args.scrub_budget,
                               journal=args.journal, resume=args.resume,
                               checkpoint_every=args.checkpoint_every)
     elif args.device == "cpu":
@@ -121,6 +130,15 @@ def main(argv: list[str] | None = None) -> int:
         for ev in res.degradation_events:
             detail = f" ({ev.detail})" if ev.detail else ""
             print(f"  degraded @ iter {ev.iteration}: {ev.action}{detail}")
+
+    heap = getattr(getattr(outcome.table, "table", outcome.table), "heap", None)
+    integ = getattr(heap, "integrity", None)
+    if integ is not None:
+        print(f"integrity       : mode {integ.mode}, {integ.seals} seals, "
+              f"{integ.verifies} verifies, {integ.scrubbed_pages} pages "
+              f"scrubbed, {integ.detected} detected, {integ.repaired} repaired")
+        for ev in integ.events:
+            print(f"  {ev.describe()}")
 
     if args.timeline and args.device == "gpu":
         from repro.bench.timeline import render_timeline

@@ -124,6 +124,8 @@ class Application:
         batches: list[RecordBatch] | None = None,
         backend: str = "analytic",
         sanitize: str | None = None,
+        integrity: str | None = None,
+        scrub_budget: int = 4,
         journal=None,
         checkpoint_every: int = 1,
         resume: bool = False,
@@ -158,6 +160,8 @@ class Application:
             n_records=n_records,
             trace=trace,
             sanitize=sanitize,
+            integrity=integrity,
+            scrub_budget=scrub_budget,
         )
         resilient_report = None
         if journal is not None:

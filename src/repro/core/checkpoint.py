@@ -503,6 +503,11 @@ def restore_table(table: GpuHashTable, payload: dict) -> None:
         m.deletes_inplace, m.deletes_noop, m.deletes_tombstones,
         m.lookups, m.gate_postponed, m.value_nodes,
     ) = (int(x) for x in c[13:22])
+    # Re-seal restored segments: the snapshot's bytes are the new ground
+    # truth, and the original seal charges already live in the restored
+    # clock, so this recompute is uncharged.
+    if heap.integrity is not None:
+        heap.integrity.reseal_after_restore(heap)
 
 
 def snapshot_clock(ledger) -> dict:

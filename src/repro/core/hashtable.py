@@ -75,12 +75,24 @@ class GpuHashTable:
         ledger: CostLedger | None = None,
         trace=None,
         sanitize: str | None = None,
+        integrity: str | None = None,
+        scrub_budget: int = 4,
     ):
         from repro.sanitize.sanitizer import resolve_level
 
         #: sanitize level ("off"|"end"|"iteration"|"paranoid"); None reads
         #: the REPRO_SANITIZE environment override (CI's hook)
         self.sanitize = resolve_level(sanitize)
+        from repro.integrity import PageIntegrity, resolve_integrity
+
+        #: integrity level ("off"|"verify"|"scrub"); None reads the
+        #: REPRO_INTEGRITY environment override.  "off" leaves
+        #: ``heap.integrity`` None: bit-identical to pre-integrity code.
+        self.integrity = resolve_integrity(integrity)
+        if self.integrity != "off" and heap.integrity is None:
+            heap.integrity = PageIntegrity(
+                mode=self.integrity, scrub_budget=scrub_budget
+            )
         self.buckets = BucketArray(n_buckets, group_size, device_memory)
         self.heap = heap
         self.alloc = BucketGroupAllocator(heap, self.buckets.n_groups)
@@ -224,8 +236,49 @@ class GpuHashTable:
                 CostCategory.MAINTENANCE,
                 report.maintenance_cycles / self.maintenance_throughput,
             )
+        if self.heap.integrity is not None:
+            self.heap.integrity.advance_epoch()
+        self._drain_integrity_charges(pcie_bus)
         self.sanitize_check("iteration")
         return report
+
+    def _drain_integrity_charges(self, pcie_bus=None) -> None:
+        """Charge CRC work and torn-transfer retries accrued this iteration.
+
+        Draining at the iteration boundary (rather than per check) keeps
+        the simulated clock deterministic regardless of *when* within the
+        iteration checks ran, which checkpoint/resume byte-identity relies
+        on.
+        """
+        integrity = self.heap.integrity
+        if integrity is None:
+            return
+        crc_bytes, retries = integrity.drain_pending()
+        if crc_bytes:
+            from repro.integrity import CRC_CYCLES_PER_BYTE
+
+            self.ledger.charge(
+                CostCategory.SCRUB,
+                crc_bytes * CRC_CYCLES_PER_BYTE / self.maintenance_throughput,
+            )
+        if retries and pcie_bus is not None:
+            for nbytes, attempts in retries:
+                pcie_bus.torn_retry(nbytes, attempts)
+
+    def maybe_scrub(self, pcie_bus=None) -> int:
+        """Run one budgeted background-scrub sweep (``integrity="scrub"``).
+
+        Called by the SEPO driver after each iteration's rearrangement.
+        Returns the number of bytes checksummed (0 when scrubbing is off).
+        Detection, quarantine, and repair happen inside the sweep; the CRC
+        cost is charged to SCRUB immediately.
+        """
+        integrity = self.heap.integrity
+        if integrity is None or integrity.mode != "scrub":
+            return 0
+        swept = integrity.scrub(self.heap)
+        self._drain_integrity_charges(pcie_bus)
+        return swept
 
     # ------------------------------------------------------------------
     # sanitizer hooks (see repro.sanitize)

@@ -416,6 +416,7 @@ class Organization:
                 muts.deletes_noop += 1
                 return True
             E.set_entry_flag(buf, off, E.GFLAG_TOMBSTONE)
+            table.heap.note_write(addr // table.heap.page_size)
             if chain is not None:
                 chain.mark(t, E.GFLAG_TOMBSTONE)
             alloc.note_tombstone(E.entry_size(klen, vlen))
@@ -721,6 +722,7 @@ class BasicOrganization(Organization):
                         # and shadow it so older duplicates are superseded
                         E.set_entry_value(buf, off, klen, value)
                         E.set_entry_flag(buf, off, E.GFLAG_SHADOW)
+                        heap.note_write(addr // heap.page_size)
                         if chain is not None:
                             chain.mark(t, E.GFLAG_SHADOW)
                         tally.table_cycles += UPDATE_CYCLES
@@ -1010,6 +1012,7 @@ class CombiningOrganization(Organization):
                 vo = off + E.ENTRY_HEADER + klen
                 stored = fmt.unpack_from(buf, vo)[0]
                 fmt.pack_into(buf, vo, comb.combine(stored, int(red[gi])))
+                heap.note_write(_addr // page_size)
 
         if ops is not None:
             # mixed-op accounting: under the no-failure pre-flight every
@@ -1063,6 +1066,7 @@ class CombiningOrganization(Organization):
                 vo = off + E.ENTRY_HEADER + klen
                 stored = fmt.unpack_from(buf, vo)[0]
                 fmt.pack_into(buf, vo, comb.combine(stored, v))
+                heap.note_write(got[1][4] // heap.page_size)
                 tally.table_cycles += comb.cycles
                 # read + write of the stored scalar, at its actual width
                 tally.bytes_touched += 2 * comb.value_size
@@ -1124,16 +1128,17 @@ class CombiningOrganization(Organization):
             v = all_values[i]
             tally.attempted += 1
             tally.table_cycles += HASH_CYCLES_PER_BYTE * len(key)
-            hit = self._walk_resident(
+            hit, _blocked = self._walk_resident_mut(
                 table, bufs, int(head_cpu[b]), key, tally, trace
             )
-            if hit is not None and hit[3] & E.GFLAG_TOMBSTONE:
+            if hit is not None and hit[4] & E.GFLAG_TOMBSTONE:
                 hit = None  # deleted key: a fresh entry supersedes it
             if hit is not None:
-                buf, off, klen, _fl = hit
+                buf, off, klen, _vlen, _fl, haddr = hit
                 vo = off + E.ENTRY_HEADER + klen
                 stored = fmt.unpack_from(buf, vo)[0]
                 fmt.pack_into(buf, vo, comb.combine(stored, v))
+                heap.note_write(haddr // heap.page_size)
                 tally.table_cycles += comb.cycles
                 # read + write of the stored scalar, at its actual width
                 tally.bytes_touched += 2 * comb.value_size
@@ -1286,6 +1291,7 @@ class CombiningOrganization(Organization):
                 vo = off + E.ENTRY_HEADER + klen
                 stored = fmt.unpack_from(buf, vo)[0]
                 fmt.pack_into(buf, vo, comb.combine(stored, v))
+                heap.note_write(hit[5] // heap.page_size)
                 tally.table_cycles += comb.cycles
                 tally.bytes_touched += 2 * comb.value_size
                 tally.succeeded += 1
@@ -1375,6 +1381,7 @@ class MultiValuedOrganization(Organization):
         if flags & E.FLAG_PENDING:
             return
         E.set_flags(buf, off, flags | E.FLAG_PENDING)
+        table.heap.note_write(seg)
         self._pin_counts[seg] = self._pin_counts.get(seg, 0) + 1
         page = table.heap.resident_page(seg)
         assert page is not None
@@ -1385,6 +1392,7 @@ class MultiValuedOrganization(Organization):
         if not flags & E.FLAG_PENDING:
             return
         E.set_flags(buf, off, flags & ~E.FLAG_PENDING)
+        table.heap.note_write(seg)
         remaining = self._pin_counts.get(seg, 0) - 1
         if remaining <= 0:
             self._pin_counts.pop(seg, None)
@@ -1433,7 +1441,9 @@ class MultiValuedOrganization(Organization):
             addr = next_cpu
         return None, False
 
-    def _append_value(self, table, tally, trace, kbuf, koff, group, value) -> bool:
+    def _append_value(
+        self, table, tally, trace, kbuf, koff, kseg, group, value
+    ) -> bool:
         """Allocate a value node and push it onto the key's value list."""
         size = E.value_node_size(len(value))
         a = table.alloc.allocate(group, size, PageKind.VALUE)
@@ -1444,6 +1454,7 @@ class MultiValuedOrganization(Organization):
         vbuf = table.heap.pool.slot_view(a.page.slot)
         E.write_value_node(vbuf, a.offset, vhead_gpu, vhead_cpu, value)
         E.set_vhead(kbuf, koff, a.gpu_addr, a.cpu_addr)
+        table.heap.note_write(kseg)
         tally.bytes_touched += size + 16
         tally.alloc_groups.append(group)
         if trace is not None:
@@ -1663,6 +1674,7 @@ class MultiValuedOrganization(Organization):
         for gi in hit_g.tolist():
             kbuf, koff, kseg = res_ref[gi]
             E.set_vhead(kbuf, koff, int(vfinal_g[gi]), int(vfinal_c[gi]))
+            heap.note_write(kseg)
             self._clear_pending(table, kbuf, kseg, koff)
 
         # closed-form walk charges (key-entry header costs)
@@ -1761,7 +1773,9 @@ class MultiValuedOrganization(Organization):
                     a.cpu_addr, E.KEY_ENTRY_HEADER + len(key), key, hit
                 )
             kbuf, koff, kseg = hit
-            if self._append_value(table, tally, trace, kbuf, koff, group, value):
+            if self._append_value(
+                table, tally, trace, kbuf, koff, kseg, group, value
+            ):
                 self._clear_pending(table, kbuf, kseg, koff)
                 tally.succeeded += 1
                 success[j] = True
@@ -1815,7 +1829,9 @@ class MultiValuedOrganization(Organization):
                     trace.on_access(a.cpu_addr, ksize)
                 hit = (kbuf, a.offset, a.page.segment, 0)
             kbuf, koff, kseg = hit[:3]
-            if self._append_value(table, tally, trace, kbuf, koff, group, value):
+            if self._append_value(
+                table, tally, trace, kbuf, koff, kseg, group, value
+            ):
                 self._clear_pending(table, kbuf, kseg, koff)
                 tally.succeeded += 1
                 success[j] = True
@@ -1942,6 +1958,7 @@ class MultiValuedOrganization(Organization):
                             self._clear_pending(table, kbuf, kseg, koff)
                         cur = E.get_flags(kbuf, koff)
                         E.set_flags(kbuf, koff, cur | E.FLAG_TOMBSTONE)
+                        heap.note_write(kseg)
                         if chain is not None:
                             chain.mark(t, E.FLAG_TOMBSTONE)
                         alloc.note_tombstone(E.key_entry_size(len(key)))
@@ -2041,7 +2058,9 @@ class MultiValuedOrganization(Organization):
                 hit = (kbuf, a.offset, a.page.segment, 0, a.cpu_addr)
                 created = True
             kbuf, koff, kseg = hit[0], hit[1], hit[2]
-            if self._append_value(table, tally, trace, kbuf, koff, group, value):
+            if self._append_value(
+                table, tally, trace, kbuf, koff, kseg, group, value
+            ):
                 self._clear_pending(table, kbuf, kseg, koff)
                 tally.succeeded += 1
                 muts.value_nodes += 1
@@ -2106,7 +2125,8 @@ class MultiValuedOrganization(Organization):
         head_gpu = table.buckets.head_gpu
         head_cpu = table.buckets.head_cpu
         for b in table.buckets.resident_buckets():
-            resident: list[tuple[int, np.ndarray, int]] = []  # (gpu, buf, off)
+            # (gpu, buf, off, seg)
+            resident: list[tuple[int, np.ndarray, int, int]] = []
             addr = int(head_cpu[b])
             while addr != NULL:
                 seg, off = divmod(addr, page_size)
@@ -2116,17 +2136,22 @@ class MultiValuedOrganization(Organization):
                 report.entries_spliced += 1
                 if page is not None:
                     gpu = page.slot * page_size + off
-                    resident.append((gpu, buf, off))
+                    resident.append((gpu, buf, off, seg))
                     E.set_vhead(buf, off, NULL, hdr[3])
+                    heap.note_write(seg)
                 addr = hdr[1]
             if not resident:
                 head_gpu[b] = NULL
                 continue
             head_gpu[b] = resident[0][0]
-            for (g_cur, buf, off), (g_next, _, _) in zip(resident, resident[1:]):
+            for (g_cur, buf, off, seg), (g_next, _, _, _) in zip(
+                resident, resident[1:]
+            ):
                 hdr = E.read_key_entry_header(buf, off)
                 E.set_next_ptrs(buf, off, g_next, hdr[1])
+                heap.note_write(seg)
             last_buf, last_off = resident[-1][1], resident[-1][2]
             hdr = E.read_key_entry_header(last_buf, last_off)
             E.set_next_ptrs(last_buf, last_off, NULL, hdr[1])
+            heap.note_write(resident[-1][3])
         report.maintenance_cycles += report.entries_spliced * SPLICE_CYCLES

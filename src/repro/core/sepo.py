@@ -234,6 +234,9 @@ class SepoDriver:
     def finish_iteration(self, state: RunState, rec: IterationRecord):
         """Figure-5 rearrangement + telemetry; returns the eviction report."""
         report = self.table.end_iteration(self.bus)
+        # background integrity scrub: one budgeted sweep per iteration,
+        # at the boundary where the table is quiescent (no in-flight pass)
+        self.table.maybe_scrub(self.bus)
         rec.evicted_bytes = report.bytes_evicted
         rec.pages_retained = report.pages_retained
         state.log.append(rec)

@@ -79,6 +79,8 @@ class GpuSession:
         n_records: int = 0,
         trace=None,
         sanitize: str | None = None,
+        integrity: str | None = None,
+        scrub_budget: int = 4,
     ) -> tuple[GpuHashTable, SepoDriver]:
         """Lay out device memory and wire a table + SEPO driver.
 
@@ -97,6 +99,8 @@ class GpuSession:
             ledger=self.ledger,
             trace=trace,
             sanitize=sanitize,
+            integrity=integrity,
+            scrub_budget=scrub_budget,
         )
         table.maintenance_throughput = self.device.compute_throughput
         driver = SepoDriver(table, self.kernel, self.bus, self.pipeline)

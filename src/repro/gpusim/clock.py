@@ -24,6 +24,7 @@ class CostCategory(str, Enum):
     MAINTENANCE = "maintenance"  # SEPO bookkeeping (chain splicing, bitmaps)
     HOST = "host"  # CPU-side sequential work (partitioning, finalize)
     RETRY = "retry"  # failed PCIe attempts + backoff (resilience layer)
+    SCRUB = "scrub"  # checksum maintenance + background scrub (integrity)
 
 
 class CostLedger:

@@ -137,6 +137,29 @@ class PCIeBus:
                 )
         return t
 
+    def torn_retry(self, nbytes: int, wasted_attempts: int) -> float:
+        """Charge re-copies of a checksum-carrying DMA that arrived torn.
+
+        The integrity layer verifies page evictions on arrival (see
+        :mod:`repro.integrity`); a destination that fails its CRC is
+        re-copied.  Each wasted attempt costs the full wire time of the
+        aborted copy plus the same exponential backoff as a transient link
+        fault, charged to :data:`CostCategory.RETRY` through the same
+        counters, so torn transfers are indistinguishable from link faults
+        in the clock breakdown.  Returns the seconds charged.
+        """
+        if wasted_attempts < 0:
+            raise ValueError("negative retry count")
+        t = self.transfer_time(nbytes, 1)
+        total = 0.0
+        for attempt in range(wasted_attempts):
+            wasted = t + self.retry_backoff * (1 << attempt)
+            self.ledger.charge(CostCategory.RETRY, wasted)
+            self.retry_seconds += wasted
+            self.retries += 1
+            total += wasted
+        return total
+
     # ------------------------------------------------------------------
     def transfer_time(self, nbytes: int, transactions: int = 1) -> float:
         """Time to move ``nbytes`` using ``transactions`` transactions."""

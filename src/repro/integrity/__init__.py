@@ -1,0 +1,27 @@
+"""End-to-end data integrity for the larger-than-memory table.
+
+See :mod:`repro.integrity.checksums` for the model.  The knob is threaded
+through :class:`~repro.core.hashtable.GpuHashTable` (``integrity=`` /
+``scrub_budget=``), :meth:`GpuSession.build_table`, the apps CLI
+(``--integrity`` / ``--scrub-budget``) and :class:`MapReduceRuntime`;
+``integrity="off"`` (the default) is bit-identical to the pre-integrity
+code paths.
+"""
+
+from repro.integrity.checksums import (
+    CRC_CYCLES_PER_BYTE,
+    CorruptionError,
+    CorruptionEvent,
+    INTEGRITY_MODES,
+    PageIntegrity,
+    resolve_integrity,
+)
+
+__all__ = [
+    "CRC_CYCLES_PER_BYTE",
+    "CorruptionError",
+    "CorruptionEvent",
+    "INTEGRITY_MODES",
+    "PageIntegrity",
+    "resolve_integrity",
+]

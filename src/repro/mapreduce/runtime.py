@@ -61,6 +61,8 @@ class MapReduceRuntime:
         group_size: int = 64,
         page_size: int = 16 << 10,
         sanitize: str | None = None,
+        integrity: str | None = None,
+        scrub_budget: int = 4,
     ):
         self.job = job
         self.device = device
@@ -70,6 +72,9 @@ class MapReduceRuntime:
         self.page_size = page_size
         #: sanitize level forwarded to the table (None = REPRO_SANITIZE)
         self.sanitize = sanitize
+        #: integrity mode forwarded to the table (None = REPRO_INTEGRITY)
+        self.integrity = integrity
+        self.scrub_budget = scrub_budget
 
     def _organization(self):
         if self.job.mode is Mode.MAP_REDUCE:
@@ -95,6 +100,8 @@ class MapReduceRuntime:
             page_size=self.page_size,
             n_records=n_records,
             sanitize=self.sanitize,
+            integrity=self.integrity,
+            scrub_budget=self.scrub_budget,
         )
         return batches, table, driver
 

@@ -103,6 +103,9 @@ class BucketGroupAllocator:
             offset = page.alloc(nbytes)
             assert offset is not None  # nbytes <= page_size is checked by Page
         self.stats.bytes_allocated += nbytes
+        # the caller writes a fresh entry into this extent; dirty the page
+        # for the integrity layer before the bytes change under its seal
+        self.heap.note_write(page.segment)
         return Allocation(
             page=page,
             offset=offset,
@@ -198,6 +201,7 @@ class BucketGroupAllocator:
             offset[pos] = offs
             self.stats.requests += len(pos)
             self.stats.bytes_allocated += int(sizes[pos].sum())
+            self.heap.note_write(page.segment)
         for p in sorted(fallback):
             k = kind if codes is None else KIND_BY_CODE[int(codes[p])]
             a = self.allocate(int(groups[p]), int(sizes[p]), k)

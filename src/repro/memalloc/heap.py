@@ -53,6 +53,10 @@ class GpuHeap:
         self.bytes_evicted = 0
         #: unused bytes inside evicted pages (fragmentation, Section IV-A)
         self.fragmented_bytes = 0
+        #: optional :class:`repro.integrity.PageIntegrity` manager; None
+        #: keeps every hook below a single attribute test (bit-identity
+        #: with pre-integrity behaviour when the feature is off)
+        self.integrity = None
 
     # ------------------------------------------------------------------
     # page lifecycle
@@ -93,10 +97,20 @@ class GpuHeap:
         cost of partially used pages manifests).
         """
         moved = 0
+        integrity = self.integrity
         for page in pages:
             if self._resident.get(page.segment) is not page:
                 raise ValueError(f"segment {page.segment} is not resident")
-            self._store[page.segment] = self.pool.slot_view(page.slot).copy()
+            src = self.pool.slot_view(page.slot)
+            if integrity is None:
+                self._store[page.segment] = src.copy()
+            else:
+                # checksum-carrying transfer: seal the source, copy, and
+                # verify on arrival (a torn DMA is re-copied with the
+                # retry cost charged at the next iteration boundary)
+                self._store[page.segment] = integrity.checked_transfer(
+                    page.segment, src
+                )
             self._store_meta[page.segment] = (page.kind, page.group, page.used)
             del self._resident[page.segment]
             self.pool.release(page.slot)
@@ -115,12 +129,17 @@ class GpuHeap:
             return self._resident[segment]
         if segment not in self._store:
             raise KeyError(f"segment {segment} was never evicted")
+        if self.integrity is not None:
+            # verify the source bytes before they re-enter the GPU arena
+            self.integrity.check_page_in(self, segment)
         slot = self.pool.take()
         if slot is None:
             return None
         kind, group, used = self._store_meta[segment]
         self.pool.slot_view(slot)[:] = self._store.pop(segment)
         del self._store_meta[segment]
+        if self.integrity is not None:
+            self.integrity.on_page_in(segment)
         page = Page(
             slot=slot, segment=segment, kind=kind, group=group,
             page_size=self.page_size, used=used,
@@ -176,6 +195,8 @@ class GpuHeap:
         page = self._resident.get(segment)
         if page is not None:
             return self.pool.slot_view(page.slot), offset
+        if self.integrity is not None:
+            self.integrity.check_read(self, segment)
         try:
             return self._store[segment], offset
         except KeyError:
@@ -188,7 +209,20 @@ class GpuHeap:
         page = self._resident.get(segment)
         if page is not None:
             return self.pool.slot_view(page.slot)
+        if self.integrity is not None:
+            self.integrity.check_read(self, segment)
         return self._store[segment]
+
+    def note_write(self, segment: int) -> None:
+        """Record an in-place write to a *resident* page.
+
+        Every write path that bypasses the allocator (tombstone flags,
+        in-place combines, value-head splices, chain relinks) must call
+        this so the integrity layer can invalidate the page's sealed CRC.
+        A no-op when integrity is off or the page was never sealed.
+        """
+        if self.integrity is not None:
+            self.integrity.note_write(segment)
 
     # ------------------------------------------------------------------
     # introspection

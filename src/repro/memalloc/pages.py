@@ -88,6 +88,12 @@ class PagePool:
         self.arena = np.zeros(self.n_slots * page_size, dtype=np.uint8)
         # LIFO reuse keeps the working set of slots small.
         self._free_slots: list[int] = list(range(self.n_slots - 1, -1, -1))
+        #: physical slots retired by the integrity layer (repeated CRC
+        #: failures suggest a bad region of device memory); never reissued
+        self.quarantined: set[int] = set()
+        #: slots flagged for retirement that are still hosting a live page;
+        #: they move to :attr:`quarantined` at their next release
+        self._retire_pending: set[int] = set()
 
     @property
     def n_free(self) -> int:
@@ -140,7 +146,33 @@ class PagePool:
             raise ValueError(f"slot {slot} out of range")
         if slot in self._free_slots:
             raise ValueError(f"slot {slot} double-released")
+        if slot in self.quarantined:
+            raise ValueError(f"slot {slot} is quarantined")
+        if slot in self._retire_pending:
+            self._retire_pending.discard(slot)
+            self.quarantined.add(slot)
+            return
         self._free_slots.append(slot)
+
+    def quarantine_slot(self, slot: int) -> None:
+        """Retire a physical slot so it is never handed out again.
+
+        A free slot retires immediately; a slot hosting a live page keeps
+        serving it (in-place repair preserves incoming GPU pointers) and
+        retires when the page is next evicted or dropped.  The live entries
+        are thereby *relocated*: eviction copies them to the CPU segment
+        store, and any later page-in lands on a different physical slot.
+        """
+        if not 0 <= slot < self.n_slots:
+            raise ValueError(f"slot {slot} out of range")
+        if slot in self.quarantined:
+            return
+        try:
+            self._free_slots.remove(slot)
+        except ValueError:
+            self._retire_pending.add(slot)
+        else:
+            self.quarantined.add(slot)
 
     def slot_view(self, slot: int) -> np.ndarray:
         """The arena bytes backing ``slot`` (a view, not a copy)."""

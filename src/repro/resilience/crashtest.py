@@ -49,12 +49,18 @@ __all__ = ["SCHEDULES", "main"]
 #: (checkpoint cadence, kill after Nth checkpoint, + this many batch
 #: calls).  ``mutation`` schedules stream delete-heavy MutationBatches,
 #: so the SIGKILL lands between delete/update passes, mid-mutation-run.
+#: The ``integrity`` schedule runs with checksums + background scrubbing
+#: on and dies *inside* the scrub sweep -- after CRC work mutated the
+#: scrub cursor but before the charge was drained or checkpointed -- so
+#: resume must replay the torn maintenance from journaled integrity meta.
 SCHEDULES = [
     {"checkpoint_every": 1, "after_checkpoint": 1, "inserts": 3},
     {"checkpoint_every": 1, "after_checkpoint": 2, "inserts": 5},
     {"checkpoint_every": 2, "after_checkpoint": 1, "inserts": 7},
     {"checkpoint_every": 1, "after_checkpoint": 1, "inserts": 2,
      "mutation": True},
+    {"checkpoint_every": 1, "after_checkpoint": 1, "inserts": 0,
+     "integrity": "scrub", "scrub_budget": 2, "mid_scrub": True},
 ]
 
 
@@ -98,6 +104,8 @@ def _build_mutation(args):
         organization=BasicOrganization(),
         page_size=4096,
         n_records=sum(len(b) for b in batches),
+        integrity=getattr(args, "integrity", None) or "off",
+        scrub_budget=getattr(args, "scrub_budget", 4),
     )
     reference = mutation_oracle(workload, "basic")[0]
     return None, reference, batches, table, driver
@@ -117,6 +125,8 @@ def _build(args):
         organization=app.make_organization(),
         page_size=4096,
         n_records=sum(len(b) for b in batches),
+        integrity=getattr(args, "integrity", None) or "off",
+        scrub_budget=getattr(args, "scrub_budget", 4),
     )
     return app, data, batches, table, driver
 
@@ -148,10 +158,25 @@ def _child(args) -> int:
             return wrapped
 
         resilient.checkpoint = counting_checkpoint
-        # mutation batches route through mutate_batch; wrap both entry
-        # points so the kill lands mid-pass either way
-        table.insert_batch = killing(table.insert_batch)
-        table.mutate_batch = killing(table.mutate_batch)
+        if args.kill_mid_scrub:
+            # die inside the scrub sweep: the CRC pass has advanced the
+            # cursor and accrued uncharged pending bytes, none of which
+            # survives -- resume must rebuild them from journaled meta
+            integ = table.heap.integrity
+            scrub = integ.scrub
+
+            def scrub_and_die(heap):
+                swept = scrub(heap)
+                if seen["checkpoints"] >= args.kill_after_checkpoint:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                return swept
+
+            integ.scrub = scrub_and_die
+        else:
+            # mutation batches route through mutate_batch; wrap both entry
+            # points so the kill lands mid-pass either way
+            table.insert_batch = killing(table.insert_batch)
+            table.mutate_batch = killing(table.mutate_batch)
 
     report = resilient.run(batches, resume=args.resume)
     print(json.dumps({
@@ -175,6 +200,11 @@ def _spawn(args, journal, schedule, resume: bool):
     ]
     if schedule.get("mutation"):
         cmd.append("--mutation")
+    if schedule.get("integrity"):
+        cmd += [
+            "--integrity", schedule["integrity"],
+            "--scrub-budget", str(schedule.get("scrub_budget", 4)),
+        ]
     if resume:
         cmd.append("--resume")
     else:
@@ -182,6 +212,8 @@ def _spawn(args, journal, schedule, resume: bool):
             "--kill-after-checkpoint", str(schedule["after_checkpoint"]),
             "--kill-inserts", str(schedule["inserts"]),
         ]
+        if schedule.get("mid_scrub"):
+            cmd.append("--kill-mid-scrub")
     env = dict(os.environ, REPRO_SANITIZE="paranoid")
     return subprocess.run(cmd, capture_output=True, text=True, env=env)
 
@@ -191,6 +223,8 @@ def _oracle(args, cadence: int, workdir: str):
     app, data, batches, table, driver = _build(args)
     mutation = getattr(args, "mutation", False)
     suffix = "-mut" if mutation else ""
+    if getattr(args, "integrity", None):
+        suffix += f"-{args.integrity}"
     resilient = ResilientDriver(
         driver,
         journal_path=os.path.join(workdir, f"oracle-{cadence}{suffix}.npz"),
@@ -243,6 +277,12 @@ def main(argv: list[str] | None = None) -> int:
                         help=argparse.SUPPRESS)
     parser.add_argument("--mutation", action="store_true",
                         help=argparse.SUPPRESS)
+    parser.add_argument("--integrity", default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--scrub-budget", type=int, default=4,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--kill-mid-scrub", action="store_true",
+                        help=argparse.SUPPRESS)
     parser.add_argument("--size", type=int, default=200_000)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--scale", type=int, default=65_536)
@@ -260,7 +300,9 @@ def main(argv: list[str] | None = None) -> int:
         for i, schedule in enumerate(SCHEDULES, 1):
             cadence = schedule["checkpoint_every"]
             args.mutation = bool(schedule.get("mutation"))
-            key = (cadence, args.mutation)
+            args.integrity = schedule.get("integrity")
+            args.scrub_budget = schedule.get("scrub_budget", 4)
+            key = (cadence, args.mutation, args.integrity)
             if key not in oracles:
                 oracles[key] = _oracle(args, cadence, workdir)
             oracle = oracles[key]
@@ -307,6 +349,7 @@ def main(argv: list[str] | None = None) -> int:
                       f"byte-identical through iteration {out['iterations']}")
 
     args.mutation = False
+    args.integrity = None
     _retry_phase(args)
     if failures:
         print(f"{failures} schedule(s) failed")

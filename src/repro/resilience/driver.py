@@ -57,6 +57,7 @@ from repro.core.sepo import (
     SepoReport,
 )
 from repro.gpusim.clock import CostCategory
+from repro.integrity import CorruptionError
 from repro.resilience.journal import (
     JournalError,
     input_fingerprint,
@@ -76,6 +77,8 @@ __all__ = [
 FORCED_EVICTION = "forced-eviction"
 CHUNK_SHRINK = "chunk-shrink"
 CPU_FALLBACK = "cpu-fallback"
+#: not a rung: unrepairable integrity damage recorded on the way out
+DATA_CORRUPTION = "data-corruption"
 
 
 @dataclass
@@ -189,36 +192,43 @@ class ResilientDriver:
             state = self._restore(batches)
         else:
             state = d.begin(batches)
-        while state.bitmap.any_pending():
-            state.iteration += 1
-            if state.iteration > d.max_iterations:
-                if not self.degrade:
-                    raise NoProgressError(
-                        f"exceeded {d.max_iterations} SEPO iterations"
+        try:
+            while state.bitmap.any_pending():
+                state.iteration += 1
+                if state.iteration > d.max_iterations:
+                    if not self.degrade:
+                        raise NoProgressError(
+                            f"exceeded {d.max_iterations} SEPO iterations"
+                        )
+                    self._fallback(
+                        batches, state,
+                        f"exceeded {d.max_iterations} SEPO iterations",
                     )
-                self._fallback(
-                    batches, state,
-                    f"exceeded {d.max_iterations} SEPO iterations",
-                )
-                break
-            rec = d.run_pass(batches, state, limit=self._limit)
-            if rec.succeeded == 0 and rec.attempted > 0:
-                state.stuck_passes += 1
-            else:
-                state.stuck_passes = 0
-                self._deescalate(batches)
-            if state.stuck_passes >= 2:
-                # the point where the stock driver gives up (see
-                # SepoDriver.run); the ladder takes over instead
-                if not self.degrade:
-                    raise NoProgressError(
-                        "two consecutive SEPO passes made no progress; "
-                        "the heap cannot host the working set"
-                    )
-                self._escalate(batches, state)
-            d.finish_iteration(state, rec)
-            if self._should_checkpoint(state):
-                self.checkpoint(batches, state)
+                    break
+                rec = d.run_pass(batches, state, limit=self._limit)
+                if rec.succeeded == 0 and rec.attempted > 0:
+                    state.stuck_passes += 1
+                else:
+                    state.stuck_passes = 0
+                    self._deescalate(batches)
+                if state.stuck_passes >= 2:
+                    # the point where the stock driver gives up (see
+                    # SepoDriver.run); the ladder takes over instead
+                    if not self.degrade:
+                        raise NoProgressError(
+                            "two consecutive SEPO passes made no progress; "
+                            "the heap cannot host the working set"
+                        )
+                    self._escalate(batches, state)
+                d.finish_iteration(state, rec)
+                if self._should_checkpoint(state):
+                    self.checkpoint(batches, state)
+        except CorruptionError as exc:
+            # unrepairable damage: record a structured event so operators
+            # see the ladder bottoming out, then refuse to answer --
+            # propagating beats returning a table with garbage bytes
+            self._event(DATA_CORRUPTION, state, exc.event.describe())
+            raise
         report = d.finalize(batches, state)
         bus = d.bus
         table = d.table
@@ -396,8 +406,36 @@ class ResilientDriver:
             "fingerprint": input_fingerprint(batches),
             "events": [asdict(e) for e in self.events],
         }
+        integrity = d.table.heap.integrity
+        if integrity is not None:
+            # captured after the quiesce so the eviction's seal charges are
+            # journaled as pending and drained on the same boundary a
+            # resumed run would drain them
+            meta["integrity"] = integrity.snapshot_meta()
         write_journal(self.journal_path, meta, arrays)
         self.checkpoints_written += 1
+        if integrity is not None:
+            integrity.repair_source = self._journal_repair_source
+
+    def _journal_repair_source(self, segment: int):
+        """Re-derive one segment's bytes from the last journal, or None.
+
+        The integrity layer CRC-gates whatever this returns, so handing
+        back a stale generation (segment re-evicted since the checkpoint)
+        is safe -- it simply fails the gate and the page is quarantined.
+        """
+        try:
+            _, arrays = read_journal(self.journal_path)
+        except (JournalError, OSError):
+            return None
+        ids = arrays.get("table_segment_ids")
+        data = arrays.get("table_segment_data")
+        if ids is None or data is None:
+            return None
+        rows = np.flatnonzero(np.asarray(ids) == segment)
+        if rows.size == 0:
+            return None
+        return bytes(np.ascontiguousarray(data[int(rows[0])]))
 
     def _restore(self, batches) -> RunState:
         d = self.driver
@@ -447,5 +485,11 @@ class ResilientDriver:
         self._episode_evicted = bool(drv["episode_evicted"])
         self.events = [DegradationEvent(**e) for e in meta["events"]]
         self.resumed_from = state.iteration
+        integrity = d.table.heap.integrity
+        if integrity is not None and "integrity" in meta:
+            # restore_table already resealed the segment store; this puts
+            # back the epoch/cursor/pending charges the journal captured
+            integrity.restore_meta(meta["integrity"])
+            integrity.repair_source = self._journal_repair_source
         d.table.sanitize_check("iteration")
         return state

@@ -32,6 +32,8 @@ import zlib
 
 import numpy as np
 
+from repro.core.checkpoint import CheckpointError
+
 __all__ = [
     "JOURNAL_VERSION",
     "JournalError",
@@ -45,8 +47,14 @@ __all__ = [
 JOURNAL_VERSION = 1
 
 
-class JournalError(RuntimeError):
-    """The journal is missing, corrupt, or inconsistent with the run."""
+class JournalError(CheckpointError):
+    """The journal is missing, corrupt, or inconsistent with the run.
+
+    Subclasses :class:`~repro.core.checkpoint.CheckpointError` so callers
+    guarding any checkpoint read (``except CheckpointError``) also catch
+    journal damage -- truncated tails, interrupted renames, tampered
+    members -- without importing the resilience layer.
+    """
 
 
 def input_fingerprint(batches) -> dict:

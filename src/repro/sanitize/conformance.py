@@ -178,6 +178,99 @@ def _run_sepo_mutation(org_factory, *, heap_pages=HEAP_PAGES):
     return runner
 
 
+def _run_sepo_integrity(org_factory, *, journal=False, heap_pages=HEAP_PAGES):
+    """Runner with the integrity layer in full-scrub mode.
+
+    ``scrub_budget`` is set high enough to sweep every page each
+    iteration, so an injected corruption is detected at the next
+    iteration boundary at the latest (read/page-in verification usually
+    catches it sooner).  ``journal=True`` wraps the run in a
+    checkpointing :class:`~repro.resilience.ResilientDriver`, giving the
+    integrity layer a repair source.  After the run the telemetry is
+    audited: a clean run must have detected nothing (zero false
+    positives), a faulted run must have detected the injection and
+    repaired every event it recovered from.
+    """
+
+    def runner(batches, sanitize, fault=None):
+        import os
+        import tempfile
+
+        from repro.core.hashtable import GpuHashTable
+        from repro.core.sepo import SepoDriver
+        from repro.gpusim.clock import CostLedger
+        from repro.gpusim.device import GTX_780TI
+        from repro.gpusim.kernel import KernelModel
+        from repro.gpusim.pcie import PCIeBus
+        from repro.memalloc.heap import GpuHeap
+
+        ledger = CostLedger()
+        heap = GpuHeap(heap_pages * PAGE_SIZE, PAGE_SIZE)
+        table = GpuHashTable(
+            n_buckets=N_BUCKETS,
+            organization=org_factory(),
+            heap=heap,
+            group_size=GROUP_SIZE,
+            ledger=ledger,
+            sanitize=sanitize,
+            integrity="scrub",
+            scrub_budget=256,
+        )
+        driver = SepoDriver(
+            table,
+            KernelModel(GTX_780TI, ledger),
+            PCIeBus(ledger),
+            max_iterations=500,
+        )
+        integ = heap.integrity
+        if journal:
+            from repro.resilience import ResilientDriver
+
+            with tempfile.TemporaryDirectory() as tmp:
+                resilient = ResilientDriver(
+                    driver,
+                    journal_path=os.path.join(tmp, "conformance.journal"),
+                    checkpoint_every=1,
+                )
+                if fault is not None:
+                    fault.install(table, resilient)
+                result = resilient.run(batches).table.result()
+        else:
+            if fault is not None:
+                fault.install(table, driver)
+            driver.run(batches)
+            result = table.result()
+
+        if fault is None:
+            if integ.detected:
+                raise RuntimeError(
+                    "clean run false positive: "
+                    + integ.events[0].describe()
+                )
+        else:
+            fired = getattr(fault, "injected", None) or getattr(
+                fault, "fired", None
+            )
+            if not fired:
+                raise RuntimeError(
+                    f"fault {fault.describe()} never fired; the cell "
+                    "proves nothing -- retune it"
+                )
+            if integ.detected == 0:
+                raise RuntimeError(
+                    f"injected fault {fault.describe()} went UNDETECTED"
+                )
+            unrepaired = [e for e in integ.events if not e.repaired]
+            if unrepaired:
+                raise RuntimeError(
+                    "recovering run left unrepaired damage: "
+                    + unrepaired[0].describe()
+                )
+        return result
+
+    return runner
+
+
 def _run_cpu(batches, sanitize, fault=None, **overrides):
     from repro.core.combiners import SUM_I64
     from repro.core.organizations import CombiningOrganization
@@ -283,6 +376,52 @@ def _sepo_mutation_fault_cases():
     )
 
 
+def _sepo_integrity_fault_cases(org_for):
+    """Injected corruption the integrity layer must detect -- and, when a
+    journal checkpoint exists, heal to an oracle-identical table.
+
+    The override tuples reuse the baseline-override plumbing: a runner to
+    substitute, plus the exception the run must raise (``None`` = must
+    recover and match the oracle).
+    """
+    from repro.integrity import CorruptionError
+
+    plain = _run_sepo_integrity(org_for("vectorized"))
+    journaled = _run_sepo_integrity(org_for("vectorized"), journal=True)
+    return (
+        # torn DMA: verify-on-arrival catches it, re-copy heals it
+        ("torn-transfer", lambda: F.TornTransferFault(every=5), None),
+        # tears past the retry budget are unrepairable by re-copying
+        (
+            "torn-persistent",
+            lambda: F.TornTransferFault(every=3, failures=20),
+            (plain, CorruptionError, {}),
+        ),
+        # at-rest damage with a checkpoint to heal from: repaired
+        (
+            "bit-flip-repair",
+            lambda: F.BitFlipFault(after_evictions=1),
+            (journaled, None, {}),
+        ),
+        (
+            "stale-repair",
+            lambda: F.StaleSegmentFault(after_evictions=1),
+            (journaled, None, {}),
+        ),
+        # the same damage with no journal: quarantine and refuse
+        (
+            "bit-flip-abort",
+            lambda: F.BitFlipFault(after_evictions=1),
+            (plain, CorruptionError, {}),
+        ),
+        (
+            "stale-abort",
+            lambda: F.StaleSegmentFault(after_evictions=1),
+            (plain, CorruptionError, {}),
+        ),
+    )
+
+
 def _org_basic(impl):
     def factory():
         from repro.core.organizations import BasicOrganization
@@ -348,6 +487,14 @@ def _build_registry() -> tuple[ImplSpec, ...]:
                     op_stream=True,
                 )
             )
+        specs.append(
+            ImplSpec(
+                name=f"sepo-int-{org_name}",
+                mode=mode,
+                runner=_run_sepo_integrity(org_for("vectorized")),
+                fault_cases=_sepo_integrity_fault_cases(org_for),
+            )
+        )
     specs.append(
         ImplSpec(
             name="cpu-table",
@@ -509,10 +656,30 @@ def run_case(
     if fault_case is not None:
         fault_name, make_fault, override = fault_case
         if override is not None:
-            # A baseline with no retry path: must raise its documented error.
-            tiny_runner, expected_exc, _ = override
+            # A substitute runner: either it must raise its documented
+            # error (under-provisioned baselines, unrepairable corruption)
+            # or -- expected_exc None -- recover and match the oracle
+            # (e.g. corruption healed from a journal checkpoint).
+            alt_runner, expected_exc, _ = override
+            fault = make_fault() if make_fault is not None else None
+            if expected_exc is None:
+                try:
+                    actual = alt_runner(batches, sanitize, fault)
+                except Exception as exc:  # noqa: BLE001
+                    return Outcome(
+                        spec.name, workload_name, fault_name, False,
+                        f"did not recover: {type(exc).__name__}: {exc}",
+                    )
+                diffs = diff_results(
+                    oracle(workload, spec.mode),
+                    _normalize(actual, spec.mode),
+                )
+                return Outcome(
+                    spec.name, workload_name, fault_name, not diffs,
+                    "; ".join(diffs),
+                )
             try:
-                tiny_runner(batches, sanitize)
+                alt_runner(batches, sanitize, fault)
             except expected_exc:
                 return Outcome(spec.name, workload_name, fault_name, True)
             except Exception as exc:  # noqa: BLE001 -- report, don't crash
@@ -601,12 +768,21 @@ def main(argv: list[str] | None = None) -> int:
         "--mutation-only", action="store_true",
         help="run only the mutation-batch (sepo-mut-*) cells",
     )
+    parser.add_argument(
+        "--integrity-only", action="store_true",
+        help="run only the integrity-layer (sepo-int-*) cells",
+    )
     args = parser.parse_args(argv)
 
     impls = tuple(args.impls.split(",")) if args.impls else None
     if args.mutation_only:
         mut = tuple(s.name for s in IMPLEMENTATIONS if s.op_stream)
         impls = tuple(n for n in impls if n in mut) if impls else mut
+    if args.integrity_only:
+        integ = tuple(
+            s.name for s in IMPLEMENTATIONS if s.name.startswith("sepo-int")
+        )
+        impls = tuple(n for n in impls if n in integ) if impls else integ
 
     outcomes = run_matrix(
         seed=args.seed,

@@ -29,6 +29,9 @@ __all__ = [
     "MidIterationEviction",
     "ZeroCapacityStart",
     "TransientTransferFault",
+    "BitFlipFault",
+    "TornTransferFault",
+    "StaleSegmentFault",
 ]
 
 
@@ -240,3 +243,208 @@ class TransientTransferFault(Fault):
                 "pass the driver"
             )
         driver.bus.set_fault_injector(self.should_fail)
+
+
+# ----------------------------------------------------------------------
+# integrity faults (require integrity="verify"/"scrub" on the table)
+# ----------------------------------------------------------------------
+
+
+def _require_integrity(table, fault_name: str):
+    integrity = table.heap.integrity
+    if integrity is None:
+        raise ValueError(
+            f"{fault_name} corrupts checksummed state; build the table "
+            "with integrity='verify' or 'scrub'"
+        )
+    return integrity
+
+
+def _install_store_corruptor(fault, table, driver) -> None:
+    """Fire ``fault._corrupt(heap)`` at the fault's chosen boundary.
+
+    Installed with a checkpointing (resilient) driver, the corruption
+    fires right after the ``after_evictions``-th *checkpoint*: at that
+    instant every stored segment's bytes match the journal just written,
+    so the damage is provably repairable from it.  Installed with a bare
+    table/driver, it fires after the ``after_evictions``-th
+    end-of-iteration rearrangement instead -- at-rest damage with no
+    checkpoint to heal from, which must surface as quarantine +
+    :class:`~repro.integrity.CorruptionError`, never a wrong answer.
+    """
+    heap = table.heap
+    state = {"calls": 0}
+    if driver is not None and hasattr(driver, "checkpoint"):
+        original = driver.checkpoint
+
+        def checkpoint(batches, run_state):
+            original(batches, run_state)
+            state["calls"] += 1
+            if state["calls"] == fault.after_evictions:
+                fault._corrupt(heap)
+
+        driver.checkpoint = checkpoint
+        return
+
+    original = table.end_iteration
+
+    def end_iteration(pcie_bus=None):
+        report = original(pcie_bus)
+        state["calls"] += 1
+        if state["calls"] == fault.after_evictions:
+            fault._corrupt(heap)
+        return report
+
+    table.end_iteration = end_iteration
+
+
+class BitFlipFault(Fault):
+    """Flip one bit of a stored (evicted) segment after the ``after``-th
+    end-of-iteration rearrangement.
+
+    Models an at-rest single-event upset in the CPU segment store.  The
+    victim is the ``segment_index``-th lowest stored segment id (the
+    oldest eviction, which a checkpoint taken on any earlier iteration
+    has journaled -- making the flip *repairable* when a ResilientDriver
+    supplies a repair source).  The flipped bit lands in the last used
+    byte of the segment, so entry headers and chain pointers stay intact:
+    only the integrity layer, not the structural sanitizer, can see it.
+    """
+
+    name = "bit-flip"
+
+    def __init__(self, after_evictions: int = 1, segment_index: int = 0):
+        if after_evictions <= 0:
+            raise ValueError("after_evictions must be positive")
+        self.after_evictions = after_evictions
+        self.segment_index = segment_index
+        #: (segment, byte_offset) actually corrupted, for assertions
+        self.injected: list[tuple[int, int]] = []
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(after={self.after_evictions}, "
+            f"segment_index={self.segment_index})"
+        )
+
+    def _corrupt(self, heap) -> None:
+        stored = sorted(heap._store)
+        if not stored:
+            return
+        seg = stored[self.segment_index % len(stored)]
+        used = heap._store_meta[seg][2]
+        off = max(0, used - 1)
+        heap._store[seg][off] ^= 0x01
+        self.injected.append((seg, off))
+
+    def install(self, table, driver=None) -> None:
+        _require_integrity(table, self.name)
+        _install_store_corruptor(self, table, driver)
+
+
+class StaleSegmentFault(Fault):
+    """Overwrite one stored segment with another segment's bytes.
+
+    Models a misdirected or lost write in the segment store: the victim's
+    bytes are internally plausible (they are a real page image and even
+    carry a valid CRC -- of the *donor*), so only per-segment seals catch
+    it.  Fires after the ``after``-th end-of-iteration rearrangement;
+    victim and donor are the lowest and second-lowest stored segment ids
+    by default.
+    """
+
+    name = "stale-segment"
+
+    def __init__(
+        self,
+        after_evictions: int = 1,
+        victim_index: int = 0,
+        donor_index: int = 1,
+    ):
+        if after_evictions <= 0:
+            raise ValueError("after_evictions must be positive")
+        if victim_index == donor_index:
+            raise ValueError("victim and donor must differ")
+        self.after_evictions = after_evictions
+        self.victim_index = victim_index
+        self.donor_index = donor_index
+        #: (victim_segment, donor_segment) pairs, for assertions
+        self.injected: list[tuple[int, int]] = []
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(after={self.after_evictions}, "
+            f"victim={self.victim_index}, donor={self.donor_index})"
+        )
+
+    def _corrupt(self, heap) -> None:
+        stored = sorted(heap._store)
+        if len(stored) < 2:
+            return
+        victim = stored[self.victim_index % len(stored)]
+        donor = stored[self.donor_index % len(stored)]
+        if victim == donor:
+            return
+        heap._store[victim] = heap._store[donor].copy()
+        self.injected.append((victim, donor))
+
+    def install(self, table, driver=None) -> None:
+        _require_integrity(table, self.name)
+        _install_store_corruptor(self, table, driver)
+
+
+class TornTransferFault(Fault):
+    """Corrupt chosen eviction DMAs' destinations, forcing re-copies.
+
+    The checksum-carrying transfer path
+    (:meth:`~repro.integrity.checksums.PageIntegrity.checked_transfer`)
+    verifies every arrival; a corrupted destination is re-copied with the
+    wasted attempts charged through the bus retry machinery.  Same
+    deterministic schedule language as :class:`TransientTransferFault`,
+    indexed by the integrity layer's own transfer-operation counter.  A
+    failure count above ``max_transfer_retries`` makes the tear
+    persistent, raising :class:`~repro.integrity.CorruptionError`.
+    """
+
+    name = "torn-transfer"
+
+    def __init__(
+        self,
+        schedule: dict[int, int] | None = None,
+        every: int | None = None,
+        failures: int = 1,
+    ):
+        if (schedule is None) == (every is None):
+            raise ValueError("give exactly one of schedule= or every=")
+        if every is not None and every <= 0:
+            raise ValueError("every must be positive")
+        if failures <= 0:
+            raise ValueError("failures must be positive")
+        if schedule is not None and any(n <= 0 for n in schedule.values()):
+            raise ValueError("scheduled failure counts must be positive")
+        self.schedule = dict(schedule) if schedule is not None else None
+        self.every = every
+        self.failures = failures
+        #: (op_index, attempt) pairs actually torn, for assertions
+        self.fired: list[tuple[int, int]] = []
+
+    def describe(self) -> str:
+        if self.schedule is not None:
+            return f"{self.name}(schedule={self.schedule})"
+        return f"{self.name}(every={self.every}, failures={self.failures})"
+
+    def should_corrupt(self, op_index: int, attempt: int) -> bool:
+        if self.schedule is not None:
+            planned = self.schedule.get(op_index, 0)
+        elif (op_index + 1) % self.every == 0:
+            planned = self.failures
+        else:
+            planned = 0
+        if attempt < planned:
+            self.fired.append((op_index, attempt))
+            return True
+        return False
+
+    def install(self, table, driver=None) -> None:
+        integrity = _require_integrity(table, self.name)
+        integrity.transfer_corruptor = self.should_corrupt

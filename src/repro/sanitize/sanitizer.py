@@ -57,6 +57,7 @@ compare per hook -- the hot path stays unmeasurably close to free.
 from __future__ import annotations
 
 import os
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -218,13 +219,16 @@ def _check_heap(heap, report: SanitizeReport) -> None:
 
     # Fault injectors may deliberately hold slots hostage ("another
     # tenant"); they must register them so leak accounting stays exact.
+    # Slots the integrity layer retired after repeated CRC failures are
+    # likewise out of circulation on purpose, not leaked.
     exempt = set(getattr(heap, "fault_reserved_slots", ()))
+    exempt |= pool.quarantined
     accounted = len(free_set) + len(slot_owner) + len(exempt - set(slot_owner))
     if accounted != n_slots:
         report.flag(
             "slot-leak",
             f"{n_slots} slots but {len(free_set)} free + {len(slot_owner)} "
-            f"resident + {len(exempt)} fault-held = {accounted}",
+            f"resident + {len(exempt)} fault-held/quarantined = {accounted}",
         )
 
     store, meta = heap._store, heap._store_meta
@@ -260,6 +264,42 @@ def _check_heap(heap, report: SanitizeReport) -> None:
                 "segment-counter",
                 f"segment {seg} outside the issued range "
                 f"[0, {heap._next_segment})",
+            )
+
+    _check_integrity_seals(heap, report)
+
+
+def _check_integrity_seals(heap, report: SanitizeReport) -> None:
+    """Integrity self-check: resident seals must match the arena bytes.
+
+    A resident page's seal (``resident_clean``) is only valid while no
+    in-place write has landed since it was sealed; every write path must
+    call :meth:`GpuHeap.note_write` to drop it.  A seal that disagrees
+    with the actual bytes therefore means a write path forgot its
+    ``note_write`` -- the exact bug class that would later surface as a
+    false-positive "corruption" during a scrub.  Stored-segment seals are
+    deliberately *not* re-verified here: injected at-rest faults must be
+    detected (and attributed) by the integrity layer itself, not raced by
+    the sanitizer.
+    """
+    integrity = heap.integrity
+    if integrity is None:
+        return
+    for seg, sealed in integrity.resident_clean.items():
+        page = heap._resident.get(seg)
+        if page is None:
+            report.flag(
+                "integrity-stale-seal",
+                f"segment {seg} has a resident seal but is not resident",
+            )
+            continue
+        actual = zlib.crc32(heap.pool.slot_view(page.slot))
+        if actual != sealed:
+            report.flag(
+                "integrity-stale-seal",
+                f"resident segment {seg} bytes (crc {actual:#010x}) "
+                f"disagree with its seal ({sealed:#010x}): a write path "
+                "is missing a note_write call",
             )
 
 

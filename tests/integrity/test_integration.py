@@ -1,0 +1,119 @@
+"""End-to-end contracts: off-mode bit-identity and resume byte-identity.
+
+``integrity="off"`` must leave the table on the pre-integrity code path
+-- same result, same table digest, same simulated clock to the last
+femtosecond.  With integrity on, a checkpointed run that is killed and
+resumed must stay byte-identical to the uninterrupted oracle: the
+journal carries the integrity meta (epoch, scrub cursor, pending CRC
+and retry charges) alongside the table snapshot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CombiningOrganization,
+    GpuHashTable,
+    SepoDriver,
+    SUM_I64,
+)
+from repro.gpusim import CostLedger, GTX_780TI, KernelModel, PCIeBus
+from repro.memalloc import GpuHeap
+from repro.resilience import table_digest
+from tests.core.conftest import numeric_batch
+from tests.resilience.test_resilient_driver import (
+    make_driver,
+    resume_equivalence,
+    workload,
+)
+
+
+def run_sepo(integrity, scrub_budget=4, sanitize=None):
+    ledger = CostLedger()
+    table = GpuHashTable(
+        n_buckets=64,
+        organization=CombiningOrganization(SUM_I64),
+        heap=GpuHeap(4096, 512),
+        group_size=16,
+        ledger=ledger,
+        sanitize=sanitize,
+        integrity=integrity,
+        scrub_budget=scrub_budget,
+    )
+    driver = SepoDriver(
+        table, KernelModel(GTX_780TI, ledger), PCIeBus(ledger),
+        max_iterations=500,
+    )
+    report = driver.run(workload())
+    return table, report, ledger
+
+
+def test_off_mode_is_bit_identical_to_no_integrity():
+    t_off, rep_off, led_off = run_sepo("off")
+    # a table that never heard of the integrity layer (knob at default,
+    # no REPRO_INTEGRITY in the environment)
+    t_none, rep_none, led_none = run_sepo(None)
+    assert t_off.heap.integrity is None and t_none.heap.integrity is None
+    assert t_off.result() == t_none.result()
+    assert table_digest(t_off) == table_digest(t_none)
+    assert rep_off.elapsed_seconds == rep_none.elapsed_seconds
+    assert led_off.breakdown() == led_none.breakdown()
+    assert rep_off.iterations == rep_none.iterations
+
+
+def test_scrub_mode_changes_clock_but_not_bytes():
+    t_off, rep_off, led_off = run_sepo("off")
+    t_scrub, rep_scrub, led_scrub = run_sepo("scrub", sanitize="paranoid")
+    assert t_scrub.result() == t_off.result()
+    assert table_digest(t_scrub) == table_digest(t_off)
+    assert rep_scrub.iterations == rep_off.iterations
+    # the only clock difference is the CRC/scrub work itself
+    off_bd, scrub_bd = led_off.breakdown(), led_scrub.breakdown()
+    assert scrub_bd["scrub"] > off_bd.get("scrub", 0.0)
+    for category, seconds in off_bd.items():
+        if category not in ("scrub",):
+            assert scrub_bd[category] == pytest.approx(seconds, abs=0.0), (
+                f"integrity=scrub leaked time into {category}"
+            )
+    assert t_scrub.heap.integrity.detected == 0
+
+
+def test_resume_byte_identity_with_integrity_on(tmp_path):
+    """Kill-and-resume under scrub mode: digest, result, and clock all
+    match the uninterrupted oracle (integrity meta rides the journal)."""
+
+    def make():
+        driver, table = make_driver(
+            CombiningOrganization(SUM_I64), sanitize="paranoid"
+        )
+        # rebuild with integrity on, reusing the driver's ledger/models
+        from repro.integrity import PageIntegrity
+
+        table.integrity = "scrub"
+        table.heap.integrity = PageIntegrity(mode="scrub", scrub_budget=2)
+        return driver, table
+
+    rep1, rep3 = resume_equivalence(tmp_path, make, workload)
+    assert rep1.iterations > 1
+
+
+def test_resume_telemetry_continues_counting(tmp_path):
+    """The resumed run's integrity layer keeps sealing/verifying -- the
+    feature survives the restore rather than silently disabling."""
+
+    def make():
+        driver, table = make_driver(
+            CombiningOrganization(SUM_I64), sanitize="paranoid"
+        )
+        from repro.integrity import PageIntegrity
+
+        table.integrity = "scrub"
+        table.heap.integrity = PageIntegrity(mode="scrub", scrub_budget=2)
+        return driver, table
+
+    rep1, rep3 = resume_equivalence(tmp_path, make, workload)
+    table = rep3.table
+    integ = table.heap.integrity
+    assert integ is not None
+    assert integ.seals > 0 and integ.scrubbed_pages > 0
+    assert integ.detected == 0

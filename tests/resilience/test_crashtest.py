@@ -66,9 +66,14 @@ def test_sigkill_and_resume_is_byte_identical(tmp_path):
 
 
 def test_crashtest_schedules_are_defined():
-    assert len(crashtest.SCHEDULES) == 4
+    assert len(crashtest.SCHEDULES) == 5
     for schedule in crashtest.SCHEDULES:
         assert schedule["checkpoint_every"] >= 1
         assert schedule["after_checkpoint"] >= 1
     # exactly one schedule kills mid-mutation-pass (delete-heavy batches)
     assert sum(bool(s.get("mutation")) for s in crashtest.SCHEDULES) == 1
+    # exactly one dies inside an integrity scrub sweep
+    assert sum(bool(s.get("mid_scrub")) for s in crashtest.SCHEDULES) == 1
+    for s in crashtest.SCHEDULES:
+        if s.get("mid_scrub"):
+            assert s["integrity"] == "scrub"

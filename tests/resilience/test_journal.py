@@ -64,6 +64,57 @@ def test_truncated_file_rejected(tmp_path):
         read_journal(path)
 
 
+def test_journal_error_is_checkpoint_error():
+    # callers that guard checkpoint reads with ``except CheckpointError``
+    # must also catch journal damage without importing the resilience layer
+    from repro.core.checkpoint import CheckpointError
+
+    assert issubclass(JournalError, CheckpointError)
+
+
+def test_truncated_tail_raises_checkpoint_error(tmp_path):
+    """A crash mid-write that left a torn tail fails as a checkpoint error."""
+    from repro.core.checkpoint import CheckpointError
+
+    path = tmp_path / "j.npz"
+    write_journal(path, *sample())
+    raw = path.read_bytes()
+    path.write_bytes(raw[:-64])  # lose the archive tail
+    with pytest.raises(CheckpointError):
+        read_journal(path)
+
+
+def test_interrupted_rename_partial_target(tmp_path):
+    """Half-replaced target (torn rename on a non-atomic FS) is rejected."""
+    from repro.core.checkpoint import CheckpointError
+
+    path = tmp_path / "j.npz"
+    write_journal(path, *sample())
+    raw = path.read_bytes()
+    # simulate a filesystem that tore the replace: the first half of the
+    # new journal over the old one
+    path.write_bytes(raw[: len(raw) // 2] + b"\x00" * 8)
+    with pytest.raises(CheckpointError):
+        read_journal(path)
+
+
+def test_interrupted_rename_tmp_left_behind(tmp_path):
+    """Death between tmp write and os.replace: the previous checkpoint
+    survives intact and the stale ``.tmp`` never shadows it."""
+    path = tmp_path / "j.npz"
+    meta, arrays = sample()
+    write_journal(path, meta, arrays)
+    # the crashed writer got as far as the sibling tmp file
+    (tmp_path / "j.npz.tmp").write_bytes(b"partial next checkpoint \x00\x01")
+    got_meta, got_arrays = read_journal(path)
+    assert got_meta["driver"] == meta["driver"]
+    assert np.array_equal(got_arrays["pending"], arrays["pending"])
+    # the next successful checkpoint overwrites the stale tmp atomically
+    write_journal(path, meta, arrays)
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["j.npz"]
+    read_journal(path)
+
+
 def test_garbage_file_rejected(tmp_path):
     path = tmp_path / "j.npz"
     path.write_bytes(b"this is not an npz archive")
