@@ -1,0 +1,116 @@
+"""Optional compiled backend for the hot chain-walk gathers.
+
+The struct-of-arrays chain materializer (:mod:`repro.core.chainview`)
+advances every in-flight chain walk one level at a time with whole-array
+gathers over the heap arena.  Those gathers come in exactly two shapes --
+generic-entry headers and multi-valued key-entry headers -- and this module
+is the seam that lets them run either as numpy fancy indexing (always
+available) or as numba-jitted loops (``impl="compiled"``).
+
+numba is an *optional* dependency: when it is missing, or when
+``REPRO_NO_NUMBA=1`` is set (CI's degradation job), the jitted variants are
+simply aliases of the numpy ones, so ``impl="compiled"`` silently behaves
+like ``impl="vectorized"``.  Both variants are bit-identical by
+construction: they read the same words and apply the same masks, and the
+conformance matrices pin all three impls to the scalar oracle.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.entries import GKLEN_MASK
+
+__all__ = [
+    "HAVE_NUMBA",
+    "gather_level_generic",
+    "gather_level_key",
+    "gather_generic",
+    "gather_key",
+]
+
+#: generic-entry flag bits live above GKLEN_MASK in the klen word
+_GFLAG_BITS = ~np.int64(GKLEN_MASK)
+
+
+def gather_level_generic(
+    w64: np.ndarray, w32: np.ndarray, pos: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Parse one level of generic-entry headers at arena byte offsets
+    ``pos`` (8-aligned).  Returns ``(next_cpu, klen, vlen, flags)``."""
+    p8 = pos >> 3
+    p4 = pos >> 2
+    nxt = w64[p8 + 1]
+    kw = w32[p4 + 4].astype(np.int64)
+    klen = kw & np.int64(GKLEN_MASK)
+    flags = kw & _GFLAG_BITS
+    vlen = w32[p4 + 5].astype(np.int64)
+    return nxt, klen, vlen, flags
+
+
+def gather_level_key(
+    w64: np.ndarray, w32: np.ndarray, pos: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Parse one level of multi-valued key-entry headers.  Returns
+    ``(next_cpu, klen, vlen=0, flags)`` -- the vlen column keeps the two
+    kinds shape-compatible for the shared walk loop."""
+    p8 = pos >> 3
+    p4 = pos >> 2
+    nxt = w64[p8 + 1]
+    klen = w32[p4 + 8].astype(np.int64)
+    flags = w32[p4 + 9].astype(np.int64)
+    return nxt, klen, np.zeros(len(pos), dtype=np.int64), flags
+
+
+HAVE_NUMBA = False
+if not os.environ.get("REPRO_NO_NUMBA"):
+    try:  # pragma: no cover - exercised only where numba is installed
+        from numba import njit as _njit
+
+        HAVE_NUMBA = True
+    except ImportError:
+        _njit = None
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @_njit(cache=True)
+    def _gather_generic_nb(w64, w32, pos, nxt, klen, vlen, flags):
+        for i in range(pos.shape[0]):
+            p8 = pos[i] >> 3
+            p4 = pos[i] >> 2
+            nxt[i] = w64[p8 + 1]
+            kw = np.int64(w32[p4 + 4])
+            klen[i] = kw & GKLEN_MASK
+            flags[i] = kw & ~np.int64(GKLEN_MASK)
+            vlen[i] = np.int64(w32[p4 + 5])
+
+    @_njit(cache=True)
+    def _gather_key_nb(w64, w32, pos, nxt, klen, vlen, flags):
+        for i in range(pos.shape[0]):
+            p8 = pos[i] >> 3
+            p4 = pos[i] >> 2
+            nxt[i] = w64[p8 + 1]
+            klen[i] = np.int64(w32[p4 + 8])
+            flags[i] = np.int64(w32[p4 + 9])
+            vlen[i] = 0
+
+    def _wrap(kernel):
+        def run(w64, w32, pos):
+            n = len(pos)
+            nxt = np.empty(n, dtype=np.int64)
+            klen = np.empty(n, dtype=np.int64)
+            vlen = np.empty(n, dtype=np.int64)
+            flags = np.empty(n, dtype=np.int64)
+            kernel(w64, w32, pos, nxt, klen, vlen, flags)
+            return nxt, klen, vlen, flags
+
+        return run
+
+    gather_generic = _wrap(_gather_generic_nb)
+    gather_key = _wrap(_gather_key_nb)
+else:
+    # graceful degradation: the compiled backend is the vectorized one
+    gather_generic = gather_level_generic
+    gather_key = gather_level_key

@@ -1,0 +1,301 @@
+"""Struct-of-arrays views over resident bucket chains.
+
+A bucket chain is a linked list, so a single walk is inherently
+sequential; the vectorization win comes from walking *many* chains at
+once.  :func:`materialize_chains` advances every requested chain
+level-synchronously: one gather parses the current entry of all still-live
+walks (header words via int64/uint32 views of the heap arena), one
+residency-map lookup splits them into resident and blocked, and the
+survivors step to their ``next_cpu`` together.  The per-entry Python work
+of the old scalar materializers -- ``divmod``, a dict probe, a
+``struct.unpack_from`` and two ``bytes`` copies per chain step -- becomes
+a handful of numpy operations per chain *level*, shared by every chain
+still alive at that depth.
+
+The result is a :class:`ChainSoA` per chain: flat arrays of addresses,
+arena positions, key/value lengths, mutation flags, and walk-charge
+cumsums, plus one zero-padded key matrix for whole-chain key compares.
+Consumers either scan it directly (lookups) or convert it into the
+classic per-batch :class:`~repro.core.organizations._ChainReplay` memo
+(insert replay and mutation paths), so all charging code stays shared
+with the scalar oracle.
+
+:class:`ChainViewStore` caches views across lookup passes.  Validity is
+stamped by two heap counters: ``residency_epoch`` (any page moving in or
+out of the arena relocates bytes) and ``write_epoch`` (any in-place
+entry write -- tombstones, combines, splices -- goes through
+``GpuHeap.note_write``, which the integrity layer already requires of
+every such path).  Entry *allocation* never invalidates a view: new
+entries are only ever prepended, so a cached view keyed by its start
+address stays byte-accurate and simply becomes a suffix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import _kernels as K
+from repro.core import entries as E
+from repro.memalloc.address import NULL
+
+__all__ = ["ChainSoA", "ChainViewStore", "materialize_chains"]
+
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+_EMPTY_KEYS = np.zeros((0, 0), dtype=np.uint8)
+
+
+class ChainSoA:
+    """One chain's resident prefix, parsed into flat arrays (walk order:
+    index 0 is the entry at the start address, i.e. newest first)."""
+
+    __slots__ = (
+        "head", "arena", "addrs", "pos", "klens", "vlens", "flags",
+        "costs", "cum", "keys", "blocked",
+    )
+
+    def __init__(self, head, arena, addrs, pos, klens, vlens, flags,
+                 costs, cum, keys, blocked):
+        self.head = head  # cpu address the walk started from
+        self.arena = arena  # the heap arena (uint8); pos indexes into it
+        self.addrs = addrs  # cpu address per entry
+        self.pos = pos  # absolute arena byte position per entry
+        self.klens = klens
+        self.vlens = vlens  # zeros for key-entry chains
+        self.flags = flags  # raw mutation-flag bits per entry
+        self.costs = costs  # bytes a walk is charged for visiting
+        self.cum = cum  # inclusive prefix sums of costs, walk order
+        self.keys = keys  # (n, max_klen) zero-padded key bytes
+        #: (segment, address) where the walk left residency, else None
+        self.blocked = blocked
+
+    @property
+    def n(self) -> int:
+        return len(self.addrs)
+
+    def match_positions(self, key: bytes) -> np.ndarray:
+        """Walk-order positions whose key equals ``key`` exactly.
+
+        Length is compared as well as bytes: the key matrix is
+        zero-padded, so a pure row compare could not tell a short key
+        from a longer one with embedded NULs.
+        """
+        kl = len(key)
+        m = self.klens == kl
+        if kl and m.any():
+            q = np.frombuffer(key, dtype=np.uint8)
+            m &= (self.keys[:, :kl] == q).all(axis=1)
+        return np.flatnonzero(m)
+
+    def key_bytes(self, w: int, blob: bytes | None = None) -> bytes:
+        """Key bytes of entry ``w``; pass ``self.keys.tobytes()`` as
+        ``blob`` when extracting many keys to skip per-row views."""
+        width = self.keys.shape[1]
+        if blob is None:
+            return bytes(self.keys[w, : self.klens[w]])
+        start = w * width
+        return blob[start : start + int(self.klens[w])]
+
+    def value_bytes(self, w: int) -> bytes:
+        """Raw value bytes of generic entry ``w`` (from the live arena)."""
+        vo = int(self.pos[w]) + E.ENTRY_HEADER + int(self.klens[w])
+        return self.arena[vo : vo + int(self.vlens[w])].tobytes()
+
+
+def _empty_view(head: int, arena: np.ndarray, blocked) -> ChainSoA:
+    return ChainSoA(
+        head, arena, _EMPTY_I64, _EMPTY_I64, _EMPTY_I64, _EMPTY_I64,
+        _EMPTY_I64, _EMPTY_I64, _EMPTY_I64, _EMPTY_KEYS, blocked,
+    )
+
+
+def _materialize_scalar(heap, head, kind, header, arena) -> ChainSoA:
+    """Per-entry walk producing the same ChainSoA as the bulk path.
+
+    Only used when the arena or page size is not 8-byte aligned, where
+    the int64/uint32 word views of the bulk gathers are unavailable.
+    """
+    page_size = heap.page_size
+    addr = head
+    addrs, pos, klens, vlens, flags = [], [], [], [], []
+    blocked = None
+    while addr != NULL:
+        seg, off = divmod(addr, page_size)
+        page = heap.resident_page(seg)
+        if page is None:
+            blocked = (seg, addr)
+            break
+        buf = heap.pool.slot_view(page.slot)
+        if kind == "generic":
+            _, next_cpu, kl, vl = E.read_entry_header(buf, off)
+            fl = E.entry_flags(buf, off)
+        else:
+            hdr = E.read_key_entry_header(buf, off)
+            next_cpu, kl, fl = hdr[1], hdr[4], hdr[5]
+            vl = 0
+        addrs.append(addr)
+        pos.append(page.slot * page_size + off)
+        klens.append(kl)
+        vlens.append(vl)
+        flags.append(fl)
+        addr = next_cpu
+    if not addrs:
+        return _empty_view(head, arena, blocked)
+    klen_a = np.array(klens, dtype=np.int64)
+    pos_a = np.array(pos, dtype=np.int64)
+    costs = header + klen_a
+    width = int(klen_a.max())
+    keymat = np.zeros((len(addrs), width), dtype=np.uint8)
+    for w, (p, kl) in enumerate(zip(pos, klens)):
+        keymat[w, :kl] = arena[p + header : p + header + kl]
+    return ChainSoA(
+        head, arena, np.array(addrs, dtype=np.int64), pos_a, klen_a,
+        np.array(vlens, dtype=np.int64), np.array(flags, dtype=np.int64),
+        costs, np.cumsum(costs), keymat, blocked,
+    )
+
+
+def materialize_chains(
+    heap, heads, kind: str = "generic", compiled: bool = False
+) -> dict[int, "ChainSoA"]:
+    """Bulk-parse the resident chain prefixes starting at ``heads``.
+
+    ``kind`` selects the entry layout (``"generic"`` for the basic and
+    combining methods, ``"key"`` for multi-valued key entries); the walk
+    itself is layout-agnostic.  ``compiled`` routes the per-level header
+    gathers through the numba backend when it is available (a silent
+    no-op otherwise, see :mod:`repro.core._kernels`).
+    """
+    heads = list(dict.fromkeys(int(h) for h in heads if h != NULL))
+    arena = heap.pool.arena
+    out: dict[int, ChainSoA] = {}
+    if not heads:
+        return out
+    if kind == "generic":
+        gather = K.gather_generic if compiled else K.gather_level_generic
+        header = E.ENTRY_HEADER
+    elif kind == "key":
+        gather = K.gather_key if compiled else K.gather_level_key
+        header = E.KEY_ENTRY_HEADER
+    else:
+        raise ValueError(f"unknown chain kind {kind!r}")
+
+    page_size = heap.page_size
+    if arena.nbytes % 8 or page_size % 8:
+        # word views need 8-byte alignment; odd page sizes (tiny test
+        # heaps) take the per-entry path
+        for h in heads:
+            out[h] = _materialize_scalar(heap, h, kind, header, arena)
+        return out
+    segmap = heap.resident_slot_map()
+    w64 = arena.view(np.int64)
+    w32 = arena.view(np.uint32)
+
+    nc = len(heads)
+    cur = np.array(heads, dtype=np.int64)
+    ci = np.arange(nc, dtype=np.int64)
+    blocked: dict[int, tuple[int, int]] = {}
+    lv_ci, lv_addr, lv_pos = [], [], []
+    lv_klen, lv_vlen, lv_flags = [], [], []
+
+    while len(cur):
+        seg = cur // page_size
+        slot = segmap[seg]
+        dead = slot < 0
+        if dead.any():
+            for c, s, a in zip(
+                ci[dead].tolist(), seg[dead].tolist(), cur[dead].tolist()
+            ):
+                blocked[c] = (s, a)
+            live = ~dead
+            ci, cur, seg, slot = ci[live], cur[live], seg[live], slot[live]
+            if not len(cur):
+                break
+        pos = slot * page_size + (cur - seg * page_size)
+        nxt, klen, vlen, flags = gather(w64, w32, pos)
+        lv_ci.append(ci)
+        lv_addr.append(cur)
+        lv_pos.append(pos)
+        lv_klen.append(klen)
+        lv_vlen.append(vlen)
+        lv_flags.append(flags)
+        alive = nxt != NULL
+        ci, cur = ci[alive], nxt[alive]
+
+    if not lv_ci:
+        for i, h in enumerate(heads):
+            # the head itself was non-resident (or every head was)
+            out[h] = _empty_view(h, arena, blocked.get(i))
+        return out
+
+    ci_all = np.concatenate(lv_ci)
+    n = len(ci_all)
+    # stable sort by chain id; level order within a chain IS walk order
+    order = (ci_all * n + np.arange(n, dtype=np.int64)).argsort()
+    ci_s = ci_all[order]
+    addr_s = np.concatenate(lv_addr)[order]
+    pos_s = np.concatenate(lv_pos)[order]
+    klen_s = np.concatenate(lv_klen)[order]
+    vlen_s = np.concatenate(lv_vlen)[order]
+    flags_s = np.concatenate(lv_flags)[order]
+    costs_s = header + klen_s
+    counts = np.bincount(ci_s, minlength=nc)
+    starts = np.concatenate(([0], np.cumsum(counts)))
+
+    # inclusive per-chain cumsum: global cumsum minus each chain's base
+    c = np.cumsum(costs_s)
+    excl = np.concatenate(([0], c))
+    cum_s = c - np.repeat(excl[starts[:-1]], counts)
+
+    # one zero-padded key matrix for all chains; rows gather from the
+    # arena, clamped so short keys never index past the arena end
+    width = int(klen_s.max()) if n else 0
+    if width:
+        cols = np.arange(width, dtype=np.int64)
+        valid = cols[None, :] < klen_s[:, None]
+        idx = np.where(valid, (pos_s + header)[:, None] + cols, 0)
+        keymat = arena[idx]
+        keymat[~valid] = 0
+    else:
+        keymat = np.zeros((n, 0), dtype=np.uint8)
+
+    for i, h in enumerate(heads):
+        a, b = int(starts[i]), int(starts[i + 1])
+        out[h] = ChainSoA(
+            h, arena, addr_s[a:b], pos_s[a:b], klen_s[a:b], vlen_s[a:b],
+            flags_s[a:b], costs_s[a:b], cum_s[a:b], keymat[a:b],
+            blocked.get(i),
+        )
+    return out
+
+
+class ChainViewStore:
+    """Cache of :class:`ChainSoA` views, invalidated by heap epochs.
+
+    The stamp pairs ``residency_epoch`` (pages moved) with
+    ``write_epoch`` (in-place entry writes); either advancing drops every
+    cached view.  Used by the lookup driver to keep views alive across
+    postponement passes -- insert/mutation paths materialize fresh per
+    batch instead, because their memos must absorb in-batch writes.
+    """
+
+    def __init__(self, heap):
+        self.heap = heap
+        self._views: dict[tuple[str, int], ChainSoA] = {}
+        self._stamp: tuple[int, int] | None = None
+
+    def get_many(
+        self, heads, kind: str = "generic", compiled: bool = False
+    ) -> dict[int, ChainSoA]:
+        heap = self.heap
+        stamp = (heap.residency_epoch, heap.write_epoch)
+        if stamp != self._stamp:
+            self._views.clear()
+            self._stamp = stamp
+        heads = [int(h) for h in heads if h != NULL]
+        missing = [h for h in heads if (kind, h) not in self._views]
+        if missing:
+            for h, v in materialize_chains(
+                heap, missing, kind, compiled
+            ).items():
+                self._views[(kind, h)] = v
+        return {h: self._views[(kind, h)] for h in heads}

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core import entries as E
 from repro.core.buckets import BucketArray
+from repro.core.chainview import ChainViewStore
 from repro.core.mutations import MutationBatch, MutationCounters
 from repro.core.organizations import (
     CombiningOrganization,
@@ -95,6 +96,9 @@ class GpuHashTable:
             )
         self.buckets = BucketArray(n_buckets, group_size, device_memory)
         self.heap = heap
+        #: struct-of-arrays chain views cached across lookup passes,
+        #: invalidated by the heap's residency/write epochs
+        self.chain_views = ChainViewStore(heap)
         self.alloc = BucketGroupAllocator(heap, self.buckets.n_groups)
         self.org = organization
         self.ledger = ledger if ledger is not None else CostLedger()
@@ -203,7 +207,7 @@ class GpuHashTable:
         )
         hottest_alloc = 0
         if tally.alloc_groups:
-            hottest_alloc = hottest_count(np.asarray(tally.alloc_groups))
+            hottest_alloc = hottest_count(tally.alloc_groups.as_array())
         return BatchStats(
             n_records=n,
             cycles_per_record=cycles,

@@ -16,14 +16,17 @@ several segments (one per iteration that evicted it), so a lookup only
 completes once it has walked its *entire* chain, combining every match on
 the way -- the value returned equals the finalized CPU-side result.
 
-Like the insert kernels, the probe has two implementations sharing exact
-accounting: ``slow_reference`` walks each query's chain entry by entry,
-while ``vectorized`` (the default) materializes every touched resident
-chain *once per iteration* -- keyed by resume address -- and scans each
-query against the cached view, so a batch of queries hashing to the same
-bucket parses each chain entry a single time instead of once per query.
-The multi-valued walk interleaves two chain kinds with per-key value
-lists and stays on the scalar path under either setting.
+Like the insert kernels, the probe has interchangeable implementations
+sharing exact accounting: ``slow_reference`` walks each query's chain
+entry by entry, while ``vectorized`` (the default) resolves queries
+against struct-of-arrays chain views (:mod:`repro.core.chainview`) --
+every touched chain is bulk-parsed level-synchronously, cached in the
+table's :class:`~repro.core.chainview.ChainViewStore` across postponement
+passes (residency/write epochs invalidate), and each query becomes one
+whole-chain key compare instead of a per-entry Python loop.
+``compiled`` additionally routes the header gathers through the optional
+numba backend.  The multi-valued walk interleaves two chain kinds with
+per-key value lists and stays on the scalar path under every setting.
 """
 
 from __future__ import annotations
@@ -45,20 +48,6 @@ from repro.gpusim.pcie import PCIeBus
 from repro.memalloc.address import NULL
 
 __all__ = ["LookupDriver", "LookupResult"]
-
-
-@dataclass
-class _ChainView:
-    """One resident chain walk, cached for every query that shares it.
-
-    ``entries`` holds ``(bytes_cost, key, raw_value, flags)`` per entry in
-    walk order; ``blocked`` is ``(segment, address)`` when the chain crossed
-    into a non-resident segment (queries that exhaust ``entries`` without
-    completing must POSTPONE there), or None when the walk reached NULL.
-    """
-
-    entries: list[tuple[int, bytes, bytes, int]]
-    blocked: tuple[int, int] | None
 
 
 @dataclass
@@ -86,7 +75,7 @@ class LookupDriver:
     ):
         from repro.core.organizations import MultiValuedOrganization
 
-        if impl not in ("vectorized", "slow_reference"):
+        if impl not in ("vectorized", "compiled", "slow_reference"):
             raise ValueError(f"unknown impl {impl!r}")
         self.impl = impl
         self._combiner = None
@@ -144,9 +133,17 @@ class LookupDriver:
             still: dict[int, tuple[int, Any, bool]] = {}
             stats = BatchStats(n_records=len(state), divergence=1.0)
             cycles = 0.0
-            # Chain views this pass, keyed by resume address.  Scoped to
-            # one iteration: _rearrange changes residency between passes.
-            views: dict[int, _ChainView] = {}
+            # Struct-of-arrays views of every chain this pass resumes
+            # into, bulk-materialized (or served from the table's store:
+            # residency/write epochs invalidate stale entries between
+            # passes automatically).
+            views = None
+            if not self._multivalued and self.impl != "slow_reference":
+                views = table.chain_views.get_many(
+                    (ws[0] for ws in state.values()),
+                    "generic",
+                    compiled=self.impl == "compiled",
+                )
             for i, walk_state in state.items():
                 key = keys[i]
                 if self._multivalued:
@@ -154,11 +151,10 @@ class LookupDriver:
                         key, *walk_state, page_size=page_size, stats=stats,
                         values=values, i=i,
                     )
-                elif self.impl == "vectorized":
+                elif views is not None:
                     addr, acc, found = walk_state
-                    outcome = self._walk_view(
-                        key, addr, acc, found, views, page_size, stats,
-                        values, i,
+                    outcome = self._walk_soa(
+                        key, addr, acc, found, views, stats, values, i
                     )
                 else:
                     addr, acc, found = walk_state
@@ -192,64 +188,45 @@ class LookupDriver:
         )
 
     # ------------------------------------------------------------------
-    def _materialize_lookup_chain(self, addr: int, page_size: int) -> _ChainView:
-        """Walk the resident chain from ``addr`` once, parsing each entry
-        into ``(bytes_cost, key, raw_value)``."""
-        heap = self.table.heap
-        entries: list[tuple[int, bytes, bytes, int]] = []
-        blocked = None
-        while addr != NULL:
-            seg, off = divmod(addr, page_size)
-            page = heap.resident_page(seg)
-            if page is None:
-                blocked = (seg, addr)
-                break
-            buf = heap.pool.slot_view(page.slot)
-            _, next_cpu, klen, vlen = E.read_entry_header(buf, off)
-            entries.append((
-                E.ENTRY_HEADER + klen,
-                E.entry_key(buf, off, klen),
-                E.entry_value(buf, off, klen, vlen),
-                E.entry_flags(buf, off),
-            ))
-            addr = next_cpu
-        return _ChainView(entries, blocked)
-
-    def _walk_view(self, key, addr, acc, found, views, page_size, stats,
-                   values, i):
-        """Advance one chain walk against the per-pass cached views.
+    def _walk_soa(self, key, addr, acc, found, views, stats, values, i):
+        """Advance one chain walk against the struct-of-arrays views.
 
         Charges exactly what :meth:`_walk` charges: the basic method pays
         for each entry up to and including its match; the combining method
-        pays for the whole walked prefix (it must see every residue).
+        pays for the whole walked prefix (it must see every residue, and
+        only an intervening tombstone match ends the walk early).  The
+        key resolves in one whole-chain matrix compare; per-entry Python
+        work happens only at actual matches.
         """
-        view = views.get(addr)
-        if view is None:
-            view = views[addr] = self._materialize_lookup_chain(
-                addr, page_size
-            )
+        if addr == NULL:
+            if found:
+                values[i] = acc
+            return None
+        view = views[addr]
         comb = self._combiner
+        mpos = view.match_positions(key)
         if comb is None:
-            for cost, ekey, raw, flags in view.entries:
-                stats.bytes_touched += cost
-                if ekey == key:
-                    if flags & E.GFLAG_TOMBSTONE:
-                        return None  # deleted: older copies are closed
-                    values[i] = raw  # basic method: newest entry wins
-                    return None
+            if len(mpos):
+                w = int(mpos[0])
+                stats.bytes_touched += int(view.cum[w])
+                if not (view.flags[w] & E.GFLAG_TOMBSTONE):
+                    values[i] = view.value_bytes(w)  # newest entry wins
+                return None  # a tombstone closes the key either way
         else:
-            for cost, ekey, raw, flags in view.entries:
-                stats.bytes_touched += cost
-                if ekey == key:
-                    if flags & E.GFLAG_TOMBSTONE:
-                        # a tombstone closes the key; every older residue
-                        # is superseded, so the walk is complete here
-                        if found:
-                            values[i] = acc
-                        return None
-                    v = comb.unpack(raw)
-                    acc = v if not found else comb.combine(acc, v)
-                    found = True
+            for w in mpos.tolist():
+                if view.flags[w] & E.GFLAG_TOMBSTONE:
+                    # a tombstone closes the key; every older residue is
+                    # superseded, so the walk is complete here
+                    stats.bytes_touched += int(view.cum[w])
+                    if found:
+                        values[i] = acc
+                    return None
+                v = comb.unpack(view.value_bytes(w))
+                acc = v if not found else comb.combine(acc, v)
+                found = True
+        n = view.n
+        if n:
+            stats.bytes_touched += int(view.cum[n - 1])
         if view.blocked is not None:
             seg, baddr = view.blocked
             return seg, (baddr, acc, found)

@@ -24,10 +24,14 @@ selected by the ``impl`` constructor argument:
   are updated with grouped last-writer-wins scatters.  The probing
   organizations materialize each bucket's resident chain prefix once per
   batch and replay walks against it.
+* ``"compiled"`` -- the vectorized orchestration with the chain-walk
+  gathers routed through the optional numba backend
+  (:mod:`repro.core._kernels`); silently identical to ``"vectorized"``
+  when numba is not installed.
 * ``"slow_reference"`` -- the original one-record-at-a-time loops, kept as
   the differential-testing oracle.
 
-Both produce bit-identical tables, success masks, and cost tallies; only
+All produce bit-identical tables, success masks, and cost tallies; only
 wall-clock time differs.  Simulated-time accounting is therefore unaffected
 by the choice (see docs/cost_model.md, "Host-side performance architecture").
 """
@@ -40,6 +44,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core import entries as E
+from repro.core.chainview import materialize_chains
 from repro.core.combiners import Combiner
 from repro.core.mutations import OP_DELETE, OP_INSERT, OP_LOOKUP, OP_UPDATE
 from repro.memalloc.address import NULL
@@ -75,8 +80,10 @@ TOMBSTONE_CYCLES = 10.0
 #: in-place value rewrite of a basic-method update (value store + flag word)
 UPDATE_CYCLES = 18.0
 
-#: valid insert-path implementations
-IMPLS = ("vectorized", "slow_reference")
+#: valid insert-path implementations; "compiled" shares the vectorized
+#: orchestration but routes chain-walk gathers through the optional numba
+#: backend (repro.core._kernels), degrading to pure numpy when absent
+IMPLS = ("vectorized", "compiled", "slow_reference")
 
 
 class _ChainReplay:
@@ -147,6 +154,61 @@ class _ChainReplay:
         return None if hit is None else hit[1]
 
 
+def _replay_from_soa(view, kind: str, page_size: int) -> _ChainReplay:
+    """Convert one bulk-parsed :class:`~repro.core.chainview.ChainSoA`
+    (walk order, newest first) into the tail-first per-batch memo.
+
+    ``refs`` point into the heap arena with *absolute* offsets -- every
+    consumer treats ``(buf, off)`` opaquely, so arena-absolute and
+    page-relative handles interoperate within a batch.  Ascending tail
+    order makes the newest same-key entry win the ``index`` dict, exactly
+    like repeated ``append_head`` calls.
+    """
+    chain = _ChainReplay()
+    chain.blocked = view.blocked is not None
+    n = view.n
+    if not n:
+        return chain
+    rev = slice(None, None, -1)
+    chain.addrs = view.addrs[rev].tolist()
+    costs = view.costs[rev]
+    chain.costs = costs.tolist()
+    chain.cum = np.cumsum(costs).tolist()
+    chain.flags = view.flags[rev].tolist()
+    pos = view.pos[rev].tolist()
+    klens = view.klens[rev].tolist()
+    width = view.keys.shape[1]
+    blob = view.keys.tobytes()
+    arena = view.arena
+    if kind == "generic":
+        vlens = view.vlens[rev].tolist()
+        chain.refs = [
+            (arena, p, kl, vl, a)
+            for p, kl, vl, a in zip(pos, klens, vlens, chain.addrs)
+        ]
+    else:
+        chain.refs = [
+            (arena, p, a // page_size) for p, a in zip(pos, chain.addrs)
+        ]
+    for t in range(n):
+        w = n - 1 - t
+        start = w * width
+        chain.index[blob[start : start + klens[t]]] = t
+    return chain
+
+
+def _stable_order(keys: np.ndarray) -> np.ndarray:
+    """``argsort(kind="stable")`` via a composite quicksort key.
+
+    Fusing the arrival position into one unique int64 key lets the default
+    introsort produce exactly the stable permutation ~3x faster than
+    mergesort.  Only valid for small-cardinality keys (bucket/group ids):
+    ``keys * n + n`` must not overflow int64.
+    """
+    n = len(keys)
+    return (keys.astype(np.int64) * n + np.arange(n)).argsort()
+
+
 def _segmented_exclusive_cumsum(x: np.ndarray, seg: np.ndarray) -> np.ndarray:
     """Per-element sum of *earlier* same-segment elements, in arrival order.
 
@@ -157,7 +219,7 @@ def _segmented_exclusive_cumsum(x: np.ndarray, seg: np.ndarray) -> np.ndarray:
     started -- what the scalar reference observes record by record.
     """
     m = len(x)
-    order = np.argsort(seg, kind="stable")
+    order = _stable_order(seg)
     xs = x[order]
     excl = np.cumsum(xs) - xs
     ss = seg[order]
@@ -181,7 +243,66 @@ class EvictionReport:
     forced_full_eviction: bool = False
 
 
-@dataclass
+class GroupLog:
+    """Ordered log of bucket-group ids, one per successful allocation.
+
+    The scalar reference :meth:`append`\\ s one int per success; the
+    vectorized kernels :meth:`extend` whole arrays -- no per-element
+    ``tolist``/``asarray`` conversion on either side.  Readers normalize
+    through :meth:`as_array`, and equality compares normalized contents,
+    so the differential suites keep asserting
+    ``ta.alloc_groups == tb.alloc_groups`` across implementations.
+    """
+
+    __slots__ = ("_chunks", "_n")
+
+    def __init__(self) -> None:
+        self._chunks: list = []  # ints and int64 arrays, in arrival order
+        self._n = 0
+
+    def append(self, group: int) -> None:
+        self._chunks.append(int(group))
+        self._n += 1
+
+    def extend(self, groups) -> None:
+        a = np.asarray(groups, dtype=np.int64)
+        if len(a):
+            self._chunks.append(a)
+            self._n += len(a)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __bool__(self) -> bool:
+        return self._n > 0
+
+    def as_array(self) -> np.ndarray:
+        parts: list[np.ndarray] = []
+        pend: list[int] = []
+        for c in self._chunks:
+            if isinstance(c, int):
+                pend.append(c)
+            else:
+                if pend:
+                    parts.append(np.asarray(pend, dtype=np.int64))
+                    pend = []
+                parts.append(c)
+        if pend:
+            parts.append(np.asarray(pend, dtype=np.int64))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, GroupLog):
+            return NotImplemented
+        return bool(np.array_equal(self.as_array(), other.as_array()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GroupLog({self.as_array().tolist()!r})"
+
+
+@dataclass(eq=False)
 class InsertTally:
     """Cost counters accumulated by an insert loop."""
 
@@ -192,7 +313,20 @@ class InsertTally:
     bytes_touched: int = 0
     table_cycles: float = 0.0
     #: bucket-group id per successful allocation (allocator contention)
-    alloc_groups: list[int] = field(default_factory=list)
+    alloc_groups: GroupLog = field(default_factory=GroupLog)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, InsertTally):
+            return NotImplemented
+        return (
+            self.attempted == other.attempted
+            and self.succeeded == other.succeeded
+            and self.postponed == other.postponed
+            and self.probe_steps == other.probe_steps
+            and self.bytes_touched == other.bytes_touched
+            and self.table_cycles == other.table_cycles
+            and self.alloc_groups == other.alloc_groups
+        )
 
 
 class Organization:
@@ -208,6 +342,38 @@ class Organization:
         if impl not in IMPLS:
             raise ValueError(f"impl must be one of {IMPLS}: {impl!r}")
         self.impl = impl
+
+    def _materialize_replays(
+        self, table, buckets, kind: str = "generic"
+    ) -> dict[int, "_ChainReplay"]:
+        """Bulk-build the per-batch chain memos for the given bucket ids.
+
+        One struct-of-arrays pass (:func:`repro.core.chainview.
+        materialize_chains`) walks every distinct touched chain
+        level-synchronously, then each view converts to the classic
+        tail-first :class:`_ChainReplay`.  Buckets with a NULL head are
+        omitted; callers keep their lazy single-chain fallback, so the
+        prefill is purely an optimization.  Eager materialization is safe
+        because a lazy memo is built at a bucket's *first* touch, before
+        any in-batch write to that chain.
+        """
+        head_cpu = table.buckets.head_cpu
+        heads: dict[int, int] = {}
+        for b in buckets:
+            h = int(head_cpu[b])
+            if h != NULL:
+                heads[int(b)] = h
+        if not heads:
+            return {}
+        views = materialize_chains(
+            table.heap, heads.values(), kind,
+            compiled=self.impl == "compiled",
+        )
+        page_size = table.heap.page_size
+        return {
+            b: _replay_from_soa(views[h], kind, page_size)
+            for b, h in heads.items()
+        }
 
     def insert_indices(
         self,
@@ -545,7 +711,7 @@ class BasicOrganization(Organization):
         # (page-fill boundaries must match the sequential reference), so it
         # computes its own group-stable sort; the bucket sort below is only
         # for chain linking and orders records within a group by bucket id.
-        bucket_order = np.argsort(buckets, kind="stable")
+        bucket_order = _stable_order(buckets)
         bulk = table.alloc.allocate_many(groups, sizes, PageKind.GENERIC)
         ok = bulk.ok
         n_ok = int(ok.sum())
@@ -560,7 +726,7 @@ class BasicOrganization(Organization):
         if n_ok == 0:
             return ok
         tally.bytes_touched += int((sizes[ok] + 16).sum())
-        tally.alloc_groups.extend(groups[ok].tolist())
+        tally.alloc_groups.extend(groups[ok])
 
         # chain linking: within each bucket, entry j points at the entry
         # inserted just before it (or the old head), and the bucket head
@@ -637,7 +803,8 @@ class BasicOrganization(Organization):
         return self._mutate_impl(table, batch, idx, buckets, tally, None)
 
     def _mutate_vectorized(self, table, batch, idx, buckets, tally):
-        return self._mutate_impl(table, batch, idx, buckets, tally, {})
+        chains = self._materialize_replays(table, np.unique(buckets))
+        return self._mutate_impl(table, batch, idx, buckets, tally, chains)
 
     def _mutate_impl(self, table, batch, idx, buckets, tally, chains):
         """In-order mixed-op loop; ``chains`` switches the walk strategy.
@@ -887,10 +1054,12 @@ class CombiningOrganization(Organization):
         n0_g = np.zeros(G, dtype=np.int64)  # resident chain length
         R_g = np.zeros(G, dtype=np.int64)  # resident full-walk bytes
         hitbase_g = np.zeros(G, dtype=np.int64)  # resident hit-walk bytes
-        chains: dict[int, _ChainReplay] = {}
         hit_refs: list[tuple[int, tuple]] = []
         nonnull = head_cpu[gbucket] != NULL
         if nonnull.any():
+            chains = self._materialize_replays(
+                table, np.unique(gbucket[nonnull])
+            )
             all_keys = batch.cache.key_bytes_list()
             for gi in np.flatnonzero(nonnull).tolist():
                 b = int(gbucket[gi])
@@ -910,7 +1079,7 @@ class CombiningOrganization(Organization):
 
         # one optimistic allocation per distinct absent key, arrival order
         newg = np.flatnonzero(res_pos < 0)
-        req = newg[np.argsort(firstj[newg], kind="stable")]
+        req = newg[np.argsort(firstj[newg])]  # first positions are unique
         req_first = firstj[req]
         sizes = E.entry_sizes_bulk(
             klens[req_first], np.full(len(req), comb.value_size, np.int64)
@@ -973,7 +1142,7 @@ class CombiningOrganization(Organization):
             + comb.cycles * n_hits
             + INSERT_CYCLES * n_miss
         )
-        tally.alloc_groups.extend(rgroups[okpos].tolist())
+        tally.alloc_groups.extend(rgroups[okpos])
 
         # pre-aggregate duplicate values per distinct key (arrival order)
         red = comb.reduce_batch(batch.numeric_values[idx][sub], starts)
@@ -981,7 +1150,7 @@ class CombiningOrganization(Organization):
         # scatter-write the new entries + grouped last-writer-wins heads
         if len(succ):
             sfj = firstj[succ]
-            order2 = np.argsort(buckets[sfj], kind="stable")
+            order2 = _stable_order(buckets[sfj])
             sel_g = succ[order2]
             bs = buckets[sfj][order2]
             gaddr = bulk.gpu_addr[okpos][order2]
@@ -1049,7 +1218,7 @@ class CombiningOrganization(Organization):
         idx_list = idx.tolist()
         bucket_list = buckets.tolist()
         success = np.zeros(len(idx), dtype=bool)
-        chains: dict[int, _ChainReplay] = {}
+        chains = self._materialize_replays(table, set(bucket_list))
         for j, i in enumerate(idx_list):
             b = bucket_list[j]
             key = all_keys[i]
@@ -1220,7 +1389,8 @@ class CombiningOrganization(Organization):
                         table, batch, idx, buckets, tally, grouping,
                         ops=ops_arr,
                     )
-        return self._mutate_impl(table, batch, idx, buckets, tally, {})
+        chains = self._materialize_replays(table, np.unique(buckets))
+        return self._mutate_impl(table, batch, idx, buckets, tally, chains)
 
     def _mutate_impl(self, table, batch, idx, buckets, tally, chains):
         """In-order mixed-op loop (see BasicOrganization._mutate_impl)."""
@@ -1564,6 +1734,9 @@ class MultiValuedOrganization(Organization):
         chains: dict[int, _ChainReplay] = {}
         nonnull = head_cpu[gbucket] != NULL
         if nonnull.any():
+            chains = self._materialize_replays(
+                table, np.unique(gbucket[nonnull]), kind="key"
+            )
             all_keys = batch.cache.key_bytes_list()
             for gi in np.flatnonzero(nonnull).tolist():
                 b = int(gbucket[gi])
@@ -1652,7 +1825,7 @@ class MultiValuedOrganization(Organization):
         # value-list head written with the entry itself
         if len(nf_rec):
             nk = kg  # groups in arrival order of their creation
-            order2 = np.argsort(gbucket[nk], kind="stable")
+            order2 = _stable_order(gbucket[nk])
             sel = nk[order2]
             bs = gbucket[sel]
             gaddr = kaddr_gpu[sel]
@@ -1713,7 +1886,7 @@ class MultiValuedOrganization(Organization):
             + int((vsizes + 16).sum())
             + int((ksizes[nf_rec] + 16).sum())
         )
-        tally.alloc_groups.extend(req_groups.tolist())
+        tally.alloc_groups.extend(req_groups)
         return np.ones(m, dtype=bool)
 
     def _insert_replay(self, table, batch, idx, buckets, tally):
@@ -1736,7 +1909,7 @@ class MultiValuedOrganization(Organization):
         idx_list = idx.tolist()
         bucket_list = buckets.tolist()
         success = np.zeros(len(idx), dtype=bool)
-        chains: dict[int, _ChainReplay] = {}
+        chains = self._materialize_replays(table, set(bucket_list), kind="key")
         for j, i in enumerate(idx_list):
             b = bucket_list[j]
             group = b // group_size
@@ -1847,7 +2020,10 @@ class MultiValuedOrganization(Organization):
         return self._mutate_impl(table, batch, idx, buckets, tally, None)
 
     def _mutate_vectorized(self, table, batch, idx, buckets, tally):
-        return self._mutate_impl(table, batch, idx, buckets, tally, {})
+        chains = self._materialize_replays(
+            table, np.unique(buckets), kind="key"
+        )
+        return self._mutate_impl(table, batch, idx, buckets, tally, chains)
 
     def _mv_find(self, table, chains, bufs, b, key, tally, trace):
         """Newest resident same-key key entry; fresh walk or memo.

@@ -26,6 +26,14 @@ from repro.memalloc.pages import KIND_BY_CODE, Page, PageKind
 __all__ = ["AllocationStats", "BucketGroupAllocator", "BulkAllocation"]
 
 
+def _stable_order(keys: np.ndarray) -> np.ndarray:
+    """``argsort(kind="stable")`` via a composite quicksort key; valid for
+    small-cardinality keys (group/kind composites) where ``keys * n + n``
+    cannot overflow int64."""
+    n = len(keys)
+    return (keys.astype(np.int64) * n + np.arange(n)).argsort()
+
+
 @dataclass
 class AllocationStats:
     """Counters over the allocator's lifetime."""
@@ -163,7 +171,7 @@ class BucketGroupAllocator:
         codes, composite = self._validate_bulk(groups, sizes, kinds)
 
         if sorted_order is None:
-            order = np.argsort(composite, kind="stable")
+            order = _stable_order(composite)
         else:
             order = sorted_order
 
@@ -202,18 +210,95 @@ class BucketGroupAllocator:
             self.stats.requests += len(pos)
             self.stats.bytes_allocated += int(sizes[pos].sum())
             self.heap.note_write(page.segment)
-        for p in sorted(fallback):
-            k = kind if codes is None else KIND_BY_CODE[int(codes[p])]
-            a = self.allocate(int(groups[p]), int(sizes[p]), k)
-            if a is not None:
-                ok[p] = True
-                slot[p] = a.page.slot
-                segment[p] = a.page.segment
-                offset[p] = a.offset
+        if fallback:
+            fallback.sort()
+            if self.heap.pool.n_free == 0:
+                self._retry_exhausted(
+                    fallback, groups, sizes, codes, kind,
+                    ok, slot, segment, offset,
+                )
+            else:
+                # a page grant was denied while the pool still holds slots
+                # (fault injection): replay request by request so every
+                # retry re-observes the injector exactly like the
+                # sequential path would
+                for p in fallback:
+                    k = kind if codes is None else KIND_BY_CODE[int(codes[p])]
+                    a = self.allocate(int(groups[p]), int(sizes[p]), k)
+                    if a is not None:
+                        ok[p] = True
+                        slot[p] = a.page.slot
+                        segment[p] = a.page.segment
+                        offset[p] = a.offset
 
         cpu_addr = np.where(ok, segment * page_size + offset, -1)
         gpu_addr = np.where(ok, slot * page_size + offset, -1)
         return BulkAllocation(ok, slot, segment, offset, cpu_addr, gpu_addr)
+
+    def _retry_exhausted(
+        self,
+        fallback: list[int],
+        groups: np.ndarray,
+        sizes: np.ndarray,
+        codes: np.ndarray | None,
+        kind: PageKind,
+        ok: np.ndarray,
+        slot: np.ndarray,
+        segment: np.ndarray,
+        offset: np.ndarray,
+    ) -> None:
+        """One batched retry pass over the requests left after pool exhaustion.
+
+        With ``n_free == 0`` every fresh-page attempt is a guaranteed denial,
+        so a surviving request's fate depends only on its (group, kind)
+        current page: it bump-fits or it postpones.  Each surviving run is
+        therefore retried in one pass -- a plain-integer bump simulation in
+        arrival order plus one batched result scatter per run -- instead of
+        degrading the whole tail to element-at-a-time :meth:`allocate` calls.
+        Stats, sticky failures, and dirty-page notes end up identical to the
+        sequential replay (the counters are commutative and a denied
+        :meth:`~repro.memalloc.heap.GpuHeap.alloc_page` mutates nothing).
+        """
+        fb = np.asarray(fallback, dtype=np.int64)  # already in arrival order
+        fcodes = np.zeros(len(fb), np.int64) if codes is None else codes[fb]
+        comp = groups[fb] * len(KIND_BY_CODE) + fcodes
+        run_order = np.argsort(comp, kind="stable")
+        sfb = fb[run_order]
+        scomp = comp[run_order]
+        bounds = np.flatnonzero(
+            np.r_[True, scomp[1:] != scomp[:-1]]
+        ).tolist() + [len(sfb)]
+        for a, b in zip(bounds, bounds[1:]):
+            run = sfb[a:b]
+            g = int(groups[run[0]])
+            kk = kind if codes is None else KIND_BY_CODE[int(codes[run[0]])]
+            page = self._current.get((g, kk))
+            free = page.free if page is not None else 0
+            used = page.used if page is not None else 0
+            taken_pos: list[int] = []
+            taken_off: list[int] = []
+            n_fail = 0
+            for p, sz in zip(run.tolist(), sizes[run].tolist()):
+                if sz <= free:  # a smaller later request can still fit
+                    taken_pos.append(p)
+                    taken_off.append(used)
+                    used += sz
+                    free -= sz
+                else:
+                    n_fail += 1
+            self.stats.requests += b - a
+            if n_fail:
+                self.stats.postponed += n_fail
+                self._failed_groups.add(g)
+            if taken_pos:
+                page.used = used
+                tp = np.asarray(taken_pos, dtype=np.int64)
+                ok[tp] = True
+                slot[tp] = page.slot
+                segment[tp] = page.segment
+                offset[tp] = np.asarray(taken_off, dtype=np.int64)
+                self.stats.bytes_allocated += int(sizes[tp].sum())
+                self.heap.note_write(page.segment)
 
     def _validate_bulk(
         self,
@@ -327,7 +412,7 @@ class BucketGroupAllocator:
         if len(groups) == 0:
             return 0
         codes, composite = self._validate_bulk(groups, sizes, kinds)
-        order = np.argsort(composite, kind="stable")
+        order = _stable_order(composite)
         _, triggers = self._plan_spans(order, composite, groups, sizes,
                                        codes, kind)
         return len(triggers)

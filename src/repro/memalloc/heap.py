@@ -57,6 +57,14 @@ class GpuHeap:
         #: keeps every hook below a single attribute test (bit-identity
         #: with pre-integrity behaviour when the feature is off)
         self.integrity = None
+        #: bumped whenever a page enters or leaves the arena; cached
+        #: chain views (repro.core.chainview) are stamped against it
+        self.residency_epoch = 0
+        #: bumped by :meth:`note_write`, i.e. on every in-place entry
+        #: write -- the other half of the chain-view validity stamp
+        self.write_epoch = 0
+        self._slot_map: np.ndarray | None = None
+        self._slot_map_epoch = -1
 
     # ------------------------------------------------------------------
     # page lifecycle
@@ -87,6 +95,7 @@ class GpuHeap:
         )
         self._next_segment += 1
         self._resident[page.segment] = page
+        self.residency_epoch += 1
         return page
 
     def evict(self, pages: Iterable[Page]) -> int:
@@ -116,6 +125,8 @@ class GpuHeap:
             self.pool.release(page.slot)
             moved += self.page_size
             self.fragmented_bytes += page.free
+        if moved:
+            self.residency_epoch += 1
         self.bytes_evicted += moved
         return moved
 
@@ -145,6 +156,7 @@ class GpuHeap:
             page_size=self.page_size, used=used,
         )
         self._resident[segment] = page
+        self.residency_epoch += 1
         return page
 
     def evict_all(self, keep_pinned: bool = False) -> int:
@@ -159,6 +171,25 @@ class GpuHeap:
     # ------------------------------------------------------------------
     def resident_page(self, segment: int) -> Page | None:
         return self._resident.get(segment)
+
+    def resident_slot_map(self) -> np.ndarray:
+        """Segment id -> physical slot, -1 when not resident.
+
+        The array form of the residency map, for bulk address
+        translation in the chain-view materializer; rebuilt lazily and
+        cached per :attr:`residency_epoch`.
+        """
+        if (
+            self._slot_map is not None
+            and self._slot_map_epoch == self.residency_epoch
+        ):
+            return self._slot_map
+        m = np.full(max(self._next_segment, 1), -1, dtype=np.int64)
+        for seg, page in self._resident.items():
+            m[seg] = page.slot
+        self._slot_map = m
+        self._slot_map_epoch = self.residency_epoch
+        return m
 
     def is_resident(self, segment: int) -> bool:
         return segment in self._resident
@@ -219,8 +250,11 @@ class GpuHeap:
         Every write path that bypasses the allocator (tombstone flags,
         in-place combines, value-head splices, chain relinks) must call
         this so the integrity layer can invalidate the page's sealed CRC.
-        A no-op when integrity is off or the page was never sealed.
+        Always bumps :attr:`write_epoch` (chain-view invalidation) even
+        when integrity is off; the CRC part is a no-op when integrity is
+        off or the page was never sealed.
         """
+        self.write_epoch += 1
         if self.integrity is not None:
             self.integrity.note_write(segment)
 

@@ -130,6 +130,11 @@ class PagePool:
         ``n_free`` still looks healthy are detected, which the pre-flight
         of the no-postponement insert kernels relies on.
         """
+        if type(self).take is PagePool.take and "take" not in self.__dict__:
+            # stock pool: a free slot IS a successful take (single-threaded
+            # invariant, see faults.py), so probing is a pure count check --
+            # no per-slot zeroing of pages the caller may never allocate
+            return len(self._free_slots) >= k
         taken = []
         while len(taken) < k:
             s = self.take()

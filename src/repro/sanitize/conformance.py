@@ -469,7 +469,11 @@ def _build_registry() -> tuple[ImplSpec, ...]:
         ("combining", "combining", _org_combining),
         ("multivalued", "multi-valued", _org_multivalued),
     ):
-        for impl, label in (("vectorized", "vectorized"), ("slow_reference", "reference")):
+        for impl, label in (
+            ("vectorized", "vectorized"),
+            ("compiled", "compiled"),
+            ("slow_reference", "reference"),
+        ):
             specs.append(
                 ImplSpec(
                     name=f"sepo-{org_name}-{label}",

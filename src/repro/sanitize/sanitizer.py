@@ -340,6 +340,11 @@ def check_table(table, raise_on_violation: bool = True) -> SanitizeReport:
     _check_overlaps(table, report)
     _check_page_leaks(table, report)
     _reconcile_tallies(table, report)
+    if not report.violations:
+        # the SoA cross-check re-parses whole chains and is only
+        # meaningful (or safe: garbage headers imply garbage lengths)
+        # once the structural walk above has vouched for every extent
+        _check_chain_views(table, report)
     if raise_on_violation and report.violations:
         raise SanitizerError(report.violations)
     return report
@@ -657,6 +662,79 @@ def _check_page_leaks(table, report: SanitizeReport) -> None:
                 f"{where} segment {seg} hosts no reachable entries: the "
                 "page was taken from the pool but leaked",
             )
+
+
+def _check_chain_views(table, report: SanitizeReport) -> None:
+    """Cross-check the struct-of-arrays chain materializer.
+
+    Re-parses every resident chain prefix two independent ways -- the
+    bulk level-synchronous gathers of :func:`repro.core.chainview.
+    materialize_chains` and a per-entry scalar walk -- and compares
+    field by field.  Any view still cached in the table's
+    :class:`~repro.core.chainview.ChainViewStore` under the *current*
+    residency/write stamp is held to the same standard, which catches
+    missed invalidations (an in-place write that bypassed
+    ``GpuHeap.note_write``) as well as materializer bugs.
+    """
+    import numpy as np
+
+    from repro.core import chainview
+    from repro.core import entries as E
+    from repro.core.organizations import MultiValuedOrganization
+    from repro.memalloc.address import NULL
+
+    heap = table.heap
+    if heap.pool.arena.nbytes % 8 or heap.page_size % 8:
+        return  # bulk gathers inactive on unaligned arenas
+    if isinstance(table.org, MultiValuedOrganization):
+        kind, header = "key", E.KEY_ENTRY_HEADER
+    else:
+        kind, header = "generic", E.ENTRY_HEADER
+    head_cpu = table.buckets.head_cpu
+    heads = {int(h) for h in np.unique(head_cpu[head_cpu != NULL])}
+    cached = {}
+    store = getattr(table, "chain_views", None)
+    if store is not None and store._stamp == (
+        heap.residency_epoch, heap.write_epoch
+    ):
+        for (k, h), v in store._views.items():
+            if k == kind:
+                cached[h] = v
+                heads.add(h)
+    if not heads:
+        return
+    bulk = chainview.materialize_chains(heap, heads, kind)
+    arena = heap.pool.arena
+    for h in sorted(heads):
+        want = chainview._materialize_scalar(heap, h, kind, header, arena)
+        for label, got in (("bulk", bulk.get(h)), ("cached", cached.get(h))):
+            if got is None:
+                continue
+            mismatch = _diff_chain_views(want, got)
+            if mismatch:
+                report.flag(
+                    "chain-view-mismatch",
+                    f"{label} SoA view of chain @{h} disagrees with the "
+                    f"scalar walk: {mismatch}",
+                )
+
+
+def _diff_chain_views(want, got) -> str | None:
+    """First field where two ChainSoA parses of one chain disagree."""
+    import numpy as np
+
+    if want.n != got.n:
+        return f"{got.n} entries, expected {want.n}"
+    if want.blocked != got.blocked:
+        return f"blocked={got.blocked}, expected {want.blocked}"
+    for name in ("addrs", "pos", "klens", "vlens", "flags", "costs", "cum"):
+        if not np.array_equal(getattr(want, name), getattr(got, name)):
+            return f"{name} differ"
+    wblob, gblob = want.keys.tobytes(), got.keys.tobytes()
+    for w in range(want.n):
+        if want.key_bytes(w, wblob) != got.key_bytes(w, gblob):
+            return f"key bytes of entry {w} differ"
+    return None
 
 
 def _reconcile_tallies(table, report: SanitizeReport) -> None:

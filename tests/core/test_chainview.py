@@ -1,0 +1,237 @@
+"""Struct-of-arrays chain views: materializer parity, cache invalidation.
+
+The :class:`~repro.core.chainview.ChainViewStore` keeps parsed chain
+views alive across lookup passes, stamped against
+``(heap.residency_epoch, heap.write_epoch)``.  These tests pin down the
+invalidation contract -- any in-place write or residency change must
+retire every cached view -- and the stale-view detector the paranoid
+sanitizer runs (bulk vs scalar vs cached, field by field).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BasicOrganization,
+    CombiningOrganization,
+    GpuHashTable,
+    MultiValuedOrganization,
+    MutationBatch,
+    OP_DELETE,
+    OP_INSERT,
+    OP_UPDATE,
+    RecordBatch,
+    SepoDriver,
+    SUM_I64,
+)
+from repro.core import chainview, entries as E
+from repro.core.chainview import ChainViewStore, materialize_chains
+from repro.core.lookup import LookupDriver
+from repro.gpusim import CostLedger, GTX_780TI, KernelModel, PCIeBus
+from repro.memalloc import GpuHeap
+from repro.memalloc.address import NULL
+from repro.sanitize import check_table
+
+
+def build(org=None, heap_bytes=1 << 16, page_size=4096, n_buckets=16):
+    ledger = CostLedger()
+    heap = GpuHeap(heap_bytes, page_size)
+    table = GpuHashTable(
+        n_buckets, org or BasicOrganization(), heap, group_size=8,
+        ledger=ledger,
+    )
+    kernel = KernelModel(GTX_780TI, ledger)
+    bus = PCIeBus(ledger)
+    return table, SepoDriver(table, kernel, bus), LookupDriver(table, kernel, bus)
+
+
+def insert(table, driver, pairs):
+    driver.run([RecordBatch.from_pairs(pairs)])
+
+
+def page_in_all(table):
+    """Bring every evicted segment back (SepoDriver evicts at end of run)."""
+    for seg in list(table.heap._store):
+        assert table.heap.page_in(seg) is not None
+
+
+KEYS = [b"cv-key-%03d" % i for i in range(40)]
+PAIRS = [(k, b"val-%03d" % i) for i, k in enumerate(KEYS)]
+
+
+# ----------------------------------------------------------------------
+# materializer parity: bulk level-sync gathers vs per-entry scalar walk
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("org_kind", ["basic", "combining", "multi-valued"])
+def test_bulk_matches_scalar_materializer(org_kind):
+    if org_kind == "combining":
+        org, kind, header = (
+            CombiningOrganization(SUM_I64), "generic", E.ENTRY_HEADER
+        )
+        table, driver, _ = build(org)
+        stream = KEYS * 3
+        driver.run([RecordBatch.from_numeric(
+            stream, np.ones(len(stream), dtype=np.int64)
+        )])
+    else:
+        kind, header = (
+            ("key", E.KEY_ENTRY_HEADER) if org_kind == "multi-valued"
+            else ("generic", E.ENTRY_HEADER)
+        )
+        org = (
+            MultiValuedOrganization() if org_kind == "multi-valued"
+            else BasicOrganization()
+        )
+        table, driver, _ = build(org)
+        insert(table, driver, PAIRS)
+    page_in_all(table)
+    heads = table.buckets.head_cpu
+    heads = [int(h) for h in heads[heads != NULL]]
+    assert heads, "populated table must have chains"
+    bulk = materialize_chains(table.heap, heads, kind)
+    arena = table.heap.pool.arena
+    for h in heads:
+        want = chainview._materialize_scalar(table.heap, h, kind, header, arena)
+        got = bulk[h]
+        assert got.n == want.n and got.blocked == want.blocked
+        for name in ("addrs", "pos", "klens", "vlens", "flags", "costs", "cum"):
+            np.testing.assert_array_equal(
+                getattr(got, name), getattr(want, name), err_msg=name
+            )
+        for w in range(want.n):
+            assert got.key_bytes(w) == want.key_bytes(w)
+
+
+def test_empty_and_single_entry_chains():
+    table, driver, _ = build()
+    insert(table, driver, PAIRS[:1])
+    page_in_all(table)
+    heads = table.buckets.head_cpu
+    live = [int(h) for h in heads[heads != NULL]]
+    assert len(live) == 1
+    views = materialize_chains(table.heap, live, "generic")
+    (view,) = views.values()
+    assert view.n == 1
+    assert view.key_bytes(0) == KEYS[0]
+    assert view.value_bytes(0) == PAIRS[0][1]
+    assert int(view.cum[0]) == int(view.costs[0])
+
+
+# ----------------------------------------------------------------------
+# store caching + invalidation stamps
+# ----------------------------------------------------------------------
+def test_store_reuses_views_until_write_epoch_bumps():
+    table, driver, lookups = build()
+    insert(table, driver, PAIRS)
+    lookups.lookup(KEYS[:8])
+    heads = table.buckets.head_cpu
+    live = [int(h) for h in heads[heads != NULL]]
+    first = table.chain_views.get_many(live, "generic")
+    again = table.chain_views.get_many(live, "generic")
+    for h in live:
+        assert again[h] is first[h], "same stamp must reuse cached views"
+    table.heap.note_write(0)  # any in-place write retires every view
+    fresh = table.chain_views.get_many(live, "generic")
+    for h in live:
+        assert fresh[h] is not first[h]
+
+
+def test_store_invalidated_on_residency_change():
+    table, driver, _ = build()
+    insert(table, driver, PAIRS)
+    page_in_all(table)
+    heads = table.buckets.head_cpu
+    live = [int(h) for h in heads[heads != NULL]]
+    first = table.chain_views.get_many(live, "generic")
+    assert not any(v.blocked for v in first.values())
+    table.heap.evict_all()
+    after = table.chain_views.get_many(live, "generic")
+    for h in live:
+        assert after[h] is not first[h]
+        # evicted chains parse to a blocked stub at the head
+        assert after[h].blocked is not None and after[h].n == 0
+
+
+def test_lookup_sees_delete_and_update_through_cache():
+    """End to end: cached views must never serve pre-mutation state."""
+    table, driver, lookups = build()
+    insert(table, driver, PAIRS)
+    res = lookups.lookup(KEYS)
+    assert res.values == [v for _, v in PAIRS]
+    dead, changed = KEYS[3], KEYS[7]
+    driver.run([MutationBatch.from_ops(
+        [(OP_DELETE, dead, b""), (OP_UPDATE, changed, b"NEW")],
+        update_policy="replace",
+    )])
+    res = lookups.lookup([dead, changed, KEYS[0]])
+    assert res.values[0] is None
+    assert res.values[1] == b"NEW"
+    assert res.values[2] == PAIRS[0][1]
+
+
+# ----------------------------------------------------------------------
+# sanitizer: stale / corrupt cached views are flagged
+# ----------------------------------------------------------------------
+def test_sanitizer_passes_on_clean_cached_views():
+    table, driver, lookups = build()
+    insert(table, driver, PAIRS)
+    lookups.lookup(KEYS)
+    assert check_table(table).ok
+
+
+def test_sanitizer_flags_stale_cached_view():
+    """Simulate a missed invalidation: mutate a cached view in place while
+    its stamp still claims validity -- paranoid check must flag it."""
+    table, driver, lookups = build()
+    insert(table, driver, PAIRS)
+    lookups.lookup(KEYS)
+    store = table.chain_views
+    assert store._views, "lookup should have populated the store"
+    (kind, head), view = next(iter(store._views.items()))
+    assert view.n > 0
+    view.klens = view.klens.copy()
+    view.klens[0] += 1  # stale length: as if a write skipped note_write
+    report = check_table(table, raise_on_violation=False)
+    assert not report.ok
+    assert any(v.kind == "chain-view-mismatch" for v in report.violations)
+
+
+def test_unaligned_heap_falls_back_to_scalar_parse():
+    """page_size not divisible by 8: bulk gathers are unsafe, the
+    materializer must route through the scalar walk (same views)."""
+    table, driver, _ = build(heap_bytes=60 * 300, page_size=300)
+    insert(table, driver, PAIRS[:10])
+    page_in_all(table)
+    heads = table.buckets.head_cpu
+    live = [int(h) for h in heads[heads != NULL]]
+    views = materialize_chains(table.heap, live, "generic")
+    total = sum(v.n for v in views.values())
+    assert total == 10
+    got = {views[h].key_bytes(w) for h in live for w in range(views[h].n)}
+    assert got == set(KEYS[:10])
+
+
+# ----------------------------------------------------------------------
+# compiled backend seam (numba optional; this container runs without it)
+# ----------------------------------------------------------------------
+def test_compiled_impl_matches_reference_without_numba(monkeypatch):
+    """impl="compiled" must give bit-identical answers whether or not
+    numba is importable; with REPRO_NO_NUMBA the gathers silently alias
+    the vectorized numpy versions."""
+    monkeypatch.setenv("REPRO_NO_NUMBA", "1")
+    results = {}
+    for impl in ("compiled", "vectorized", "slow_reference"):
+        table, driver, lookups = build(org=BasicOrganization(impl=impl))
+        insert(table, driver, PAIRS)
+        res = lookups.lookup(KEYS + [b"missing"])
+        results[impl] = (res.values, res.iterations)
+    assert results["compiled"] == results["vectorized"]
+    assert results["compiled"] == results["slow_reference"]
+
+
+def test_kernels_module_degrades_without_numba():
+    from repro.core import _kernels
+
+    if not _kernels.HAVE_NUMBA:
+        assert _kernels.gather_generic is _kernels.gather_level_generic
+        assert _kernels.gather_key is _kernels.gather_level_key
