@@ -246,6 +246,65 @@ def _insert_cell(kind, keys, values, repeats) -> dict:
     }
 
 
+#: shard counts of the (tracked, non-gated) weak-scaling cell
+SHARD_COUNTS = (1, 2, 4, 8)
+#: client batch size of the sharded runs: big enough that per-chunk
+#: launch overhead does not swamp the multi-shard runs (whose chunks are
+#: 1/count the size), small enough that every pass still streams several
+#: chunks per shard, so intra-shard transfer/compute overlap is exercised
+SHARD_BATCH_RECORDS = 8192
+
+
+def shard_scaling_cell(
+    n: int, counts=SHARD_COUNTS, kind: str = "basic", dist: str = "uniform"
+) -> dict:
+    """Sharded-executor scaling: simulated aggregate throughput per count.
+
+    Fixed total work; each count splits the same 4096-bucket/48MB budget
+    across its shards (weak scaling per device), streams the input in
+    :data:`SHARD_BATCH_RECORDS` client batches, and reports the
+    *simulated* records/sec (records / makespan -- the slowest shard's
+    clock) plus the intra-shard transfer overlap efficiency.  Tracked in
+    ``BENCH_hostperf.json``; the CI gate is
+    :func:`test_shard_scaling_smoke`.
+    """
+    from repro.shard import ShardedExecutor
+
+    keys, values = make_workload(n, dist)
+    rows = {}
+    for count in counts:
+        batches = [
+            make_batch(
+                kind,
+                keys[i : i + SHARD_BATCH_RECORDS],
+                values[i : i + SHARD_BATCH_RECORDS],
+            )
+            for i in range(0, n, SHARD_BATCH_RECORDS)
+        ]
+        executor = ShardedExecutor(
+            count,
+            lambda: make_org(kind, "vectorized"),
+            n_buckets=max(64, 4096 // count),
+            heap_bytes=heap_bytes_for(n) // count,
+            page_size=64 << 10,
+            group_size=64,
+        )
+        report = executor.run(batches)
+        rows[str(count)] = {
+            "records_per_second": round(report.records_per_second),
+            "makespan_seconds": report.makespan_seconds,
+            "overlap_efficiency": round(
+                report.schedule["overlap_efficiency"], 3
+            ),
+            "parallel_speedup": round(report.schedule["parallel_speedup"], 2),
+        }
+    if "1" in rows:
+        base = rows["1"]["records_per_second"]
+        for row in rows.values():
+            row["scaling_x"] = round(row["records_per_second"] / base, 2)
+    return rows
+
+
 def run_suite(n: int, repeats: int = 3, insert_only: bool = False) -> dict:
     """One tier of the report: the full cell matrix at the classic scale,
     or just the uniform insert cells (``insert_only``) at scales where
@@ -293,7 +352,14 @@ def run_suite(n: int, repeats: int = 3, insert_only: bool = False) -> dict:
             ),
         }
     distributions["integrity-overhead"] = integrity
-    return {"n_records": n, "repeats": repeats, "distributions": distributions}
+    return {
+        "n_records": n,
+        "repeats": repeats,
+        "distributions": distributions,
+        # tracked, not gated (the gate is test_shard_scaling_smoke):
+        # simulated aggregate throughput + overlap per shard count
+        "shard_scaling": shard_scaling_cell(n),
+    }
 
 
 def run_tiered(repeats: int = 3) -> dict:
@@ -316,20 +382,57 @@ def export(report: dict, path: Path = EXPORT_PATH) -> None:
     path.write_text(json.dumps(report, indent=2) + "\n")
 
 
-def profile_hotspots(n: int = FULL_N, top: int = 12) -> None:
+def profile_hotspots(
+    n: int = FULL_N, top: int = 12, batch_records: int | None = None
+) -> None:
     """--profile: per-organization cProfile of one vectorized insert,
     printing the top cumulative-time hotspots (satellite of the
-    struct-of-arrays chain-kernel work: what is still interpreter-bound)."""
+    struct-of-arrays chain-kernel work: what is still interpreter-bound).
+
+    With ``--batch-records B`` the profile instead drives a full
+    :class:`~repro.core.sepo.SepoDriver` run over ``n`` records split
+    into ``B``-record batches -- the per-batch *orchestration* cost the
+    one-big-batch profile cannot see.  This mode is what located the
+    small-batch hotspot in ``BucketGroupAllocator.allocate_many`` (span
+    planning ran per tiny run; see docs/cost_model.md) rather than in
+    the driver loop itself.
+    """
     for kind in KINDS:
         keys, values = make_workload(n, "uniform")
-        batch = make_batch(kind, keys, values)
-        table = make_table(kind, "vectorized", n)
         prof = cProfile.Profile()
-        prof.enable()
-        result = table.insert_batch(batch)
-        prof.disable()
-        assert result.success.all(), "workload must not be postponed"
-        print(f"\n=== {kind}: top {top} by cumulative time (n={n:,}) ===")
+        if batch_records is None:
+            batch = make_batch(kind, keys, values)
+            table = make_table(kind, "vectorized", n)
+            prof.enable()
+            result = table.insert_batch(batch)
+            prof.disable()
+            assert result.success.all(), "workload must not be postponed"
+            label = f"n={n:,}"
+        else:
+            from repro.core.sepo import SepoDriver
+            from repro.gpusim.clock import CostLedger
+            from repro.gpusim.device import GTX_780TI
+            from repro.gpusim.kernel import KernelModel
+            from repro.gpusim.pcie import PCIeBus
+
+            batches = [
+                make_batch(
+                    kind,
+                    keys[i : i + batch_records],
+                    values[i : i + batch_records],
+                )
+                for i in range(0, n, batch_records)
+            ]
+            ledger = CostLedger()
+            table = make_table(kind, "vectorized", n, ledger=ledger)
+            driver = SepoDriver(
+                table, KernelModel(GTX_780TI, ledger), PCIeBus(ledger)
+            )
+            prof.enable()
+            driver.run(batches)
+            prof.disable()
+            label = f"n={n:,}, {batch_records}-record batches"
+        print(f"\n=== {kind}: top {top} by cumulative time ({label}) ===")
         stats = pstats.Stats(prof)
         stats.sort_stats("cumulative").print_stats(top)
 
@@ -389,6 +492,21 @@ def test_integrity_overhead_cell_runs():
             assert integrity_rps(kind, mode, keys, values, repeats=1) > 0
 
 
+def test_shard_scaling_smoke():
+    """CI gate (64k tier): 4 shards must deliver >= 2.5x the single-shard
+    simulated aggregate throughput, with nonzero intra-shard transfer
+    overlap -- the sharded schedule must actually overlap, not serialize."""
+    rows = shard_scaling_cell(FULL_N, counts=(1, 4))
+    single = rows["1"]["records_per_second"]
+    sharded = rows["4"]["records_per_second"]
+    assert sharded >= 2.5 * single, (
+        f"4-shard throughput {sharded:,} rec/s is below 2.5x the "
+        f"single-shard {single:,} rec/s"
+    )
+    assert rows["4"]["overlap_efficiency"] > 0
+    assert rows["1"]["overlap_efficiency"] > 0
+
+
 def test_hostperf_basic_vectorized(benchmark):
     keys, values = make_workload(SMOKE_N)
     batch = make_batch("basic", keys, values)
@@ -432,10 +550,17 @@ def test_hostperf_export_roundtrip(tmp_path):
     for row in full["distributions"]["integrity-overhead"].values():
         for mode in INTEGRITY_CELL_MODES:
             assert row[f"{mode}_rps"] > 0
+    # full tiers also carry the (non-gated) shard weak-scaling rows
+    scaling = full["shard_scaling"]
+    assert set(scaling) == {str(c) for c in SHARD_COUNTS}
+    for row in scaling.values():
+        assert row["records_per_second"] > 0
+        assert 0.0 <= row["overlap_efficiency"] <= 1.0
     # the insert-only tier carries just the uniform insert cells
     deep = loaded["tiers"]["4096"]
     assert set(deep["distributions"]) == {"uniform"}
     assert set(deep["distributions"]["uniform"]) == set(KINDS)
+    assert "shard_scaling" not in deep
 
 
 # ----------------------------------------------------------------------
@@ -503,6 +628,12 @@ def _print_tier(tier: dict) -> None:
                     f"{row['compiled_speedup']:.1f}x"
                 )
             print(line)
+    for count, row in tier.get("shard_scaling", {}).items():
+        print(
+            f"  shards={count:<2} simulated {row['records_per_second']:>12,} "
+            f"rec/s   {row.get('scaling_x', 1.0):.2f}x   "
+            f"overlap {row['overlap_efficiency']:.3f}"
+        )
 
 
 def main(argv=None) -> None:
@@ -516,9 +647,13 @@ def main(argv=None) -> None:
     ap.add_argument("--profile", action="store_true",
                     help="print cProfile hotspots of one vectorized insert "
                          "per organization instead of benchmarking")
+    ap.add_argument("--batch-records", type=int, default=None,
+                    help="with --profile: drive a SepoDriver run in batches "
+                         "of this many records (profiles the per-batch "
+                         "orchestration path instead of one big insert)")
     args = ap.parse_args(argv)
     if args.profile:
-        profile_hotspots(args.n or FULL_N)
+        profile_hotspots(args.n or FULL_N, batch_records=args.batch_records)
         return
     if args.n is not None:
         tier = run_suite(args.n, args.repeats)

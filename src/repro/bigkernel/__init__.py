@@ -11,7 +11,16 @@ MapReduce runtime (Section V): it slices raw inputs into chunks at record
 boundaries.  :mod:`.pipeline` accounts the overlap.
 """
 
-from repro.bigkernel.partitioner import partition_lines, partition_sequence
+from repro.bigkernel.partitioner import (
+    partition_by_shard,
+    partition_lines,
+    partition_sequence,
+)
 from repro.bigkernel.pipeline import BigKernelPipeline
 
-__all__ = ["BigKernelPipeline", "partition_lines", "partition_sequence"]
+__all__ = [
+    "BigKernelPipeline",
+    "partition_by_shard",
+    "partition_lines",
+    "partition_sequence",
+]

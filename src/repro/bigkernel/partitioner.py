@@ -4,15 +4,24 @@ The MapReduce runtime (Section V) asks the application programmer for an
 *input data partitioner* that splits raw input into chunks ready for the map
 instances.  These helpers cover the two shapes all seven applications use:
 newline-delimited byte streams and pre-tokenized record sequences.
+
+:func:`partition_by_shard` is the third axis: key-space partitioning of a
+:class:`~repro.core.records.RecordBatch` for the sharded executor
+(:mod:`repro.shard`), reusing the batch's already-vectorized hash cache.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, TypeVar
+from typing import TYPE_CHECKING, Sequence, TypeVar
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.records import RecordBatch
 
 T = TypeVar("T")
 
-__all__ = ["partition_lines", "partition_sequence"]
+__all__ = ["partition_by_shard", "partition_lines", "partition_sequence"]
 
 
 def partition_lines(data: bytes, chunk_bytes: int) -> list[bytes]:
@@ -40,6 +49,30 @@ def partition_lines(data: bytes, chunk_bytes: int) -> list[bytes]:
         chunks.append(data[pos:end])
         pos = end
     return chunks
+
+
+def partition_by_shard(
+    batch: "RecordBatch", shard_map
+) -> dict[int, tuple["RecordBatch", np.ndarray]]:
+    """Split one batch into per-shard sub-batches by key-space hash.
+
+    ``shard_map`` is anything with a vectorized ``shard_of_hash(hashes)``
+    (see :class:`repro.shard.ShardMap`); the hashes come from the batch's
+    memoized FNV-1a cache, so a batch that has already been hashed (or will
+    be inserted afterwards) pays nothing extra here.
+
+    Returns ``{shard: (sub_batch, indices)}`` for the non-empty shards
+    only, where ``indices`` are the parent-batch row numbers of the
+    sub-batch's records in their original (stable) arrival order -- the
+    merge map callers use to re-key per-shard results (e.g. lookup
+    answers) back to parent positions.
+    """
+    shard_ids = np.asarray(shard_map.shard_of_hash(batch.cache.hashes()))
+    out: dict[int, tuple["RecordBatch", np.ndarray]] = {}
+    for s in np.unique(shard_ids):
+        idx = np.flatnonzero(shard_ids == s)  # flatnonzero is ascending
+        out[int(s)] = (batch.take(idx), idx)
+    return out
 
 
 def partition_sequence(records: Sequence[T], records_per_chunk: int) -> list[Sequence[T]]:

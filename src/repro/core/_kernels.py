@@ -29,6 +29,7 @@ __all__ = [
     "gather_level_key",
     "gather_generic",
     "gather_key",
+    "walk_chains",
 ]
 
 #: generic-entry flag bits live above GKLEN_MASK in the klen word
@@ -110,7 +111,99 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
 
     gather_generic = _wrap(_gather_generic_nb)
     gather_key = _wrap(_gather_key_nb)
+
+    @_njit(cache=True)
+    def _count_chains_nb(w64, heads, segmap, page_size, counts,
+                         blocked_seg, blocked_addr):
+        # pass 1 of the whole-walk kernel: chain lengths + where (if
+        # anywhere) each walk leaves residency.  NULL (-1) ends a chain;
+        # a blocked chain records a non-negative segment instead.
+        for i in range(heads.shape[0]):
+            addr = heads[i]
+            cnt = 0
+            bseg = np.int64(-1)
+            baddr = np.int64(-1)
+            while addr != -1:
+                seg = addr // page_size
+                slot = segmap[seg]
+                if slot < 0:
+                    bseg = seg
+                    baddr = addr
+                    break
+                pos = slot * page_size + (addr - seg * page_size)
+                cnt += 1
+                addr = w64[(pos >> 3) + 1]
+            counts[i] = cnt
+            blocked_seg[i] = bseg
+            blocked_addr[i] = baddr
+
+    @_njit(cache=True)
+    def _fill_chains_nb(w64, w32, heads, segmap, page_size, generic,
+                        gklen_mask, starts, addrs, pos_out, klen, vlen,
+                        flags):
+        # pass 2: re-walk and fill the flat chain-major arrays.  Same
+        # traversal as pass 1, so `starts` (exclusive prefix sums of the
+        # pass-1 counts) bounds every write.
+        for i in range(heads.shape[0]):
+            addr = heads[i]
+            j = starts[i]
+            while addr != -1:
+                seg = addr // page_size
+                slot = segmap[seg]
+                if slot < 0:
+                    break
+                pos = slot * page_size + (addr - seg * page_size)
+                p4 = pos >> 2
+                addrs[j] = addr
+                pos_out[j] = pos
+                if generic:
+                    kw = np.int64(w32[p4 + 4])
+                    klen[j] = kw & gklen_mask
+                    flags[j] = kw & ~gklen_mask
+                    vlen[j] = np.int64(w32[p4 + 5])
+                else:
+                    klen[j] = np.int64(w32[p4 + 8])
+                    flags[j] = np.int64(w32[p4 + 9])
+                    vlen[j] = 0
+                j += 1
+                addr = w64[(pos >> 3) + 1]
+
+    def walk_chains(w64, w32, heads, segmap, page_size, kind):
+        """Whole-walk compiled materializer: every chain start to finish.
+
+        Unlike the per-level gathers (one call per chain *depth*), this
+        runs the entire level-synchronous loop of
+        :func:`repro.core.chainview.materialize_chains` as two jitted
+        passes, and returns its arrays already chain-major -- no
+        stable-sort pass needed.  Returns ``(counts, addrs, pos, klen,
+        vlen, flags, blocked)`` where ``blocked`` maps chain index ->
+        ``(segment, address)`` for walks that left residency.
+        """
+        n = len(heads)
+        counts = np.empty(n, dtype=np.int64)
+        bseg = np.empty(n, dtype=np.int64)
+        baddr = np.empty(n, dtype=np.int64)
+        _count_chains_nb(w64, heads, segmap, page_size, counts, bseg, baddr)
+        total = int(counts.sum())
+        addrs = np.empty(total, dtype=np.int64)
+        pos = np.empty(total, dtype=np.int64)
+        klen = np.empty(total, dtype=np.int64)
+        vlen = np.empty(total, dtype=np.int64)
+        flags = np.empty(total, dtype=np.int64)
+        starts = np.concatenate(([0], np.cumsum(counts)))[:-1]
+        _fill_chains_nb(
+            w64, w32, heads, segmap, page_size, kind == "generic",
+            np.int64(GKLEN_MASK), starts, addrs, pos, klen, vlen, flags,
+        )
+        blocked = {
+            int(i): (int(bseg[i]), int(baddr[i]))
+            for i in np.flatnonzero(bseg >= 0)
+        }
+        return counts, addrs, pos, klen, vlen, flags, blocked
 else:
     # graceful degradation: the compiled backend is the vectorized one
     gather_generic = gather_level_generic
     gather_key = gather_level_key
+    #: whole-walk kernel only exists under numba; callers fall back to
+    #: the per-level numpy loop when this is None
+    walk_chains = None

@@ -154,6 +154,50 @@ def _materialize_scalar(heap, head, kind, header, arena) -> ChainSoA:
     )
 
 
+def _assemble(
+    heads, arena, header, addr_s, pos_s, klen_s, vlen_s, flags_s, counts,
+    blocked,
+) -> dict[int, "ChainSoA"]:
+    """Shared tail of both materializer paths: chain-major flat arrays ->
+    per-head :class:`ChainSoA` views.
+
+    Inputs must already be chain-major (chain ``i``'s entries contiguous,
+    in walk order, ``counts[i]`` long); the per-chain cost cumsums, one
+    zero-padded key matrix, and the per-head slicing happen here so the
+    numpy and compiled walks cannot drift apart.
+    """
+    n = len(addr_s)
+    costs_s = header + klen_s
+    starts = np.concatenate(([0], np.cumsum(counts)))
+
+    # inclusive per-chain cumsum: global cumsum minus each chain's base
+    c = np.cumsum(costs_s)
+    excl = np.concatenate(([0], c))
+    cum_s = c - np.repeat(excl[starts[:-1]], counts)
+
+    # one zero-padded key matrix for all chains; rows gather from the
+    # arena, clamped so short keys never index past the arena end
+    width = int(klen_s.max()) if n else 0
+    if width:
+        cols = np.arange(width, dtype=np.int64)
+        valid = cols[None, :] < klen_s[:, None]
+        idx = np.where(valid, (pos_s + header)[:, None] + cols, 0)
+        keymat = arena[idx]
+        keymat[~valid] = 0
+    else:
+        keymat = np.zeros((n, 0), dtype=np.uint8)
+
+    out: dict[int, ChainSoA] = {}
+    for i, h in enumerate(heads):
+        a, b = int(starts[i]), int(starts[i + 1])
+        out[h] = ChainSoA(
+            h, arena, addr_s[a:b], pos_s[a:b], klen_s[a:b], vlen_s[a:b],
+            flags_s[a:b], costs_s[a:b], cum_s[a:b], keymat[a:b],
+            blocked.get(i),
+        )
+    return out
+
+
 def materialize_chains(
     heap, heads, kind: str = "generic", compiled: bool = False
 ) -> dict[int, "ChainSoA"]:
@@ -161,9 +205,11 @@ def materialize_chains(
 
     ``kind`` selects the entry layout (``"generic"`` for the basic and
     combining methods, ``"key"`` for multi-valued key entries); the walk
-    itself is layout-agnostic.  ``compiled`` routes the per-level header
-    gathers through the numba backend when it is available (a silent
-    no-op otherwise, see :mod:`repro.core._kernels`).
+    itself is layout-agnostic.  ``compiled`` runs the *entire*
+    level-synchronous loop as two jitted passes over the arena words
+    (:func:`repro.core._kernels.walk_chains`) when numba is available,
+    and otherwise falls back to the per-level numpy gathers below -- the
+    same silent degradation as the other ``impl="compiled"`` seams.
     """
     heads = list(dict.fromkeys(int(h) for h in heads if h != NULL))
     arena = heap.pool.arena
@@ -191,6 +237,15 @@ def materialize_chains(
     w32 = arena.view(np.uint32)
 
     nc = len(heads)
+    if compiled and K.walk_chains is not None:
+        counts, addrs, pos, klen, vlen, flags, blocked = K.walk_chains(
+            w64, w32, np.array(heads, dtype=np.int64), segmap, page_size,
+            kind,
+        )
+        return _assemble(
+            heads, arena, header, addrs, pos, klen, vlen, flags, counts,
+            blocked,
+        )
     cur = np.array(heads, dtype=np.int64)
     ci = np.arange(nc, dtype=np.int64)
     blocked: dict[int, tuple[int, int]] = {}
@@ -231,41 +286,16 @@ def materialize_chains(
     n = len(ci_all)
     # stable sort by chain id; level order within a chain IS walk order
     order = (ci_all * n + np.arange(n, dtype=np.int64)).argsort()
-    ci_s = ci_all[order]
-    addr_s = np.concatenate(lv_addr)[order]
-    pos_s = np.concatenate(lv_pos)[order]
-    klen_s = np.concatenate(lv_klen)[order]
-    vlen_s = np.concatenate(lv_vlen)[order]
-    flags_s = np.concatenate(lv_flags)[order]
-    costs_s = header + klen_s
-    counts = np.bincount(ci_s, minlength=nc)
-    starts = np.concatenate(([0], np.cumsum(counts)))
-
-    # inclusive per-chain cumsum: global cumsum minus each chain's base
-    c = np.cumsum(costs_s)
-    excl = np.concatenate(([0], c))
-    cum_s = c - np.repeat(excl[starts[:-1]], counts)
-
-    # one zero-padded key matrix for all chains; rows gather from the
-    # arena, clamped so short keys never index past the arena end
-    width = int(klen_s.max()) if n else 0
-    if width:
-        cols = np.arange(width, dtype=np.int64)
-        valid = cols[None, :] < klen_s[:, None]
-        idx = np.where(valid, (pos_s + header)[:, None] + cols, 0)
-        keymat = arena[idx]
-        keymat[~valid] = 0
-    else:
-        keymat = np.zeros((n, 0), dtype=np.uint8)
-
-    for i, h in enumerate(heads):
-        a, b = int(starts[i]), int(starts[i + 1])
-        out[h] = ChainSoA(
-            h, arena, addr_s[a:b], pos_s[a:b], klen_s[a:b], vlen_s[a:b],
-            flags_s[a:b], costs_s[a:b], cum_s[a:b], keymat[a:b],
-            blocked.get(i),
-        )
-    return out
+    counts = np.bincount(ci_all[order], minlength=nc)
+    return _assemble(
+        heads, arena, header,
+        np.concatenate(lv_addr)[order],
+        np.concatenate(lv_pos)[order],
+        np.concatenate(lv_klen)[order],
+        np.concatenate(lv_vlen)[order],
+        np.concatenate(lv_flags)[order],
+        counts, blocked,
+    )
 
 
 class ChainViewStore:

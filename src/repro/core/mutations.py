@@ -135,6 +135,12 @@ class MutationBatch(RecordBatch):
         including exemption from the sticky-group postponement gate)."""
         return not (self.ops != OP_INSERT).any()
 
+    def _take_extra(self, idx: np.ndarray) -> dict:
+        """Carry op codes and the update policy into :meth:`~repro.core.
+        records.RecordBatch.take` sub-batches (lookup results start empty:
+        the sub-batch resolves its own, keyed by sub-batch-local index)."""
+        return {"ops": self.ops[idx], "update_policy": self.update_policy}
+
     @classmethod
     def from_ops(
         cls,

@@ -319,6 +319,35 @@ class RecordBatch:
         return arrays
 
     # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "RecordBatch":
+        """A fresh batch holding rows ``indices``, in the given order.
+
+        The shard partitioner (:func:`repro.bigkernel.partitioner.
+        partition_by_shard`) splits batches with this.  Fancy indexing
+        copies, so the sub-batch owns writable arrays even while the parent
+        is frozen by an attached cache; ``input_bytes`` is recomputed from
+        the sub-batch's own staged payload so per-shard PCIe accounting sums
+        to (at most) the parent's.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        kwargs: dict = dict(
+            keys=self.keys[idx],
+            key_lens=self.key_lens[idx],
+            parse_cycles=self.parse_cycles,
+            divergence=self.divergence,
+        )
+        if self.numeric_values is not None:
+            kwargs["numeric_values"] = self.numeric_values[idx]
+        else:
+            kwargs["values"] = self.values[idx]
+            kwargs["val_lens"] = self.val_lens[idx]
+        kwargs.update(self._take_extra(idx))
+        return type(self)(**kwargs)
+
+    def _take_extra(self, idx: np.ndarray) -> dict:
+        """Subclass hook: extra constructor kwargs for :meth:`take`."""
+        return {}
+
     def key_bytes(self, i: int) -> bytes:
         return self.keys[i, : self.key_lens[i]].tobytes()
 

@@ -93,6 +93,12 @@ class PCIeBus:
         self.retries = 0
         #: simulated seconds burned in failed attempts + backoff
         self.retry_seconds = 0.0
+        #: full wire seconds of every :meth:`overlapped` transfer
+        self.overlap_wire_seconds = 0.0
+        #: portion of that wire time actually hidden behind compute; the
+        #: pair gives a link's overlap efficiency without re-deriving it
+        #: from the ledger (see repro.shard.TransferSchedule)
+        self.overlap_hidden_seconds = 0.0
         self._fault_injector: Callable[[int, int], bool] | None = None
 
     def set_fault_injector(
@@ -214,6 +220,8 @@ class PCIeBus:
         Returns the exposed seconds."""
         t = self._settle(nbytes, 1)
         exposed = max(0.0, t - hidden_seconds)
+        self.overlap_wire_seconds += t
+        self.overlap_hidden_seconds += t - exposed
         self.bytes_moved += max(nbytes, self.spec.min_payload)
         self.transactions += 1
         self.ledger.charge(CostCategory.PCIE, exposed)

@@ -175,8 +175,54 @@ class BucketGroupAllocator:
         else:
             order = sorted_order
 
-        spans, triggers = self._plan_spans(order, composite, groups, sizes,
-                                           codes, kind)
+        # Fast path: a run whose total fits in its (group, kind) current
+        # page needs no span planning at all -- every request bump-fits, no
+        # fresh page is taken, so the whole run is one vectorized scatter.
+        # At small batch sizes this is the common case (most runs are one
+        # or two requests) and skipping the per-span binary searches in
+        # _plan_spans is the difference between O(runs) searchsorted calls
+        # and a handful of array ops per batch.
+        sorted_comp = composite[order]
+        run_starts = np.flatnonzero(np.r_[True, sorted_comp[1:] != sorted_comp[:-1]])
+        run_ends = np.r_[run_starts[1:], n]
+        sorted_sizes = sizes[order]
+        c = np.cumsum(sorted_sizes)
+        consumed = np.where(run_starts > 0, c[run_starts - 1], 0)
+        run_totals = c[run_ends - 1] - consumed
+        fit_runs = np.zeros(len(run_starts), dtype=bool)
+        fit_pages = []  # (run index, current page)
+        for r, s0 in enumerate(run_starts.tolist()):
+            p = int(order[s0])
+            g = int(groups[p])
+            kk = kind if codes is None else KIND_BY_CODE[int(codes[p])]
+            page = self._current.get((g, kk))
+            if page is not None and page.free >= run_totals[r]:
+                fit_runs[r] = True
+                fit_pages.append((r, page))
+        fit_elem = np.repeat(fit_runs, run_ends - run_starts)
+        if fit_pages:
+            fit_lens = (run_ends - run_starts)[fit_runs]
+            pos = order[fit_elem]
+            used_rep = np.repeat([pg.used for _r, pg in fit_pages], fit_lens)
+            base_rep = np.repeat(consumed[fit_runs], fit_lens)
+            ok[pos] = True
+            slot[pos] = np.repeat([pg.slot for _r, pg in fit_pages], fit_lens)
+            segment[pos] = np.repeat(
+                [pg.segment for _r, pg in fit_pages], fit_lens
+            )
+            offset[pos] = used_rep + c[fit_elem] - sorted_sizes[fit_elem] - base_rep
+            self.stats.requests += len(pos)
+            self.stats.bytes_allocated += int(sorted_sizes[fit_elem].sum())
+            for r, page in fit_pages:
+                page.used += int(run_totals[r])
+                self.heap.note_write(page.segment)
+
+        if fit_runs.all():
+            spans, triggers = [], []
+        else:
+            spans, triggers = self._plan_spans(
+                order[~fit_elem], composite, groups, sizes, codes, kind
+            )
 
         # Phase B: grant fresh pages in trigger order.  When the pool runs
         # out, the remaining spans' requests are replayed through the

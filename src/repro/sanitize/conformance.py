@@ -97,6 +97,8 @@ class ImplSpec:
     fault_cases: tuple = ()
     #: True: consumes MutationBatch streams (MUTATION_WORKLOAD_NAMES cells)
     op_stream: bool = False
+    #: explicit workload subset; None = the full list for the stream kind
+    workloads: tuple[str, ...] | None = None
 
 
 @dataclass
@@ -152,6 +154,39 @@ def _run_sepo(org_factory, *, heap_pages=HEAP_PAGES):
             fault.install(table, driver)
         driver.run(batches)
         return table.result()
+
+    return runner
+
+
+def _run_sharded(org_factory, n_shards, *, heap_pages=HEAP_PAGES):
+    """Runner for the sharded executor (:mod:`repro.shard`).
+
+    Each shard gets a deliberately small private heap (the unsharded
+    budget split across shards, floored so every organization can still
+    make progress), so the single-shard cell stresses postponement
+    exactly like ``sepo-*`` and the multi-shard cells stress the
+    partition/merge path on top.  After the run the cross-shard
+    placement invariant is checked in addition to the per-shard arena
+    sanitize the executor's tables already carry.
+    """
+
+    def runner(batches, sanitize, fault=None):
+        from repro.shard import ShardedExecutor
+
+        per_shard_pages = max(6, heap_pages // n_shards)
+        executor = ShardedExecutor(
+            n_shards,
+            org_factory,
+            n_buckets=N_BUCKETS,
+            heap_bytes=per_shard_pages * PAGE_SIZE,
+            page_size=PAGE_SIZE,
+            group_size=GROUP_SIZE,
+            sanitize=sanitize,
+            max_iterations=500,
+        )
+        executor.run(batches)
+        executor.check_shards()
+        return executor.result()
 
     return runner
 
@@ -499,6 +534,15 @@ def _build_registry() -> tuple[ImplSpec, ...]:
                 fault_cases=_sepo_integrity_fault_cases(org_for),
             )
         )
+        for n_shards in (1, 2, 4, 8):
+            specs.append(
+                ImplSpec(
+                    name=f"sepo-shard-{org_name}-s{n_shards}",
+                    mode=mode,
+                    runner=_run_sharded(org_for("vectorized"), n_shards),
+                    workloads=("uniform", "zipf"),
+                )
+            )
     specs.append(
         ImplSpec(
             name="cpu-table",
@@ -733,7 +777,9 @@ def run_matrix(
     for spec in IMPLEMENTATIONS:
         if impls is not None and spec.name not in impls:
             continue
-        names = MUTATION_WORKLOAD_NAMES if spec.op_stream else WORKLOAD_NAMES
+        names = spec.workloads or (
+            MUTATION_WORKLOAD_NAMES if spec.op_stream else WORKLOAD_NAMES
+        )
         for workload_name in names:
             outcomes.append(run_case(spec, workload_name, n, seed, sanitize))
         if include_faults:
@@ -776,6 +822,10 @@ def main(argv: list[str] | None = None) -> int:
         "--integrity-only", action="store_true",
         help="run only the integrity-layer (sepo-int-*) cells",
     )
+    parser.add_argument(
+        "--shard-only", action="store_true",
+        help="run only the sharded-executor (sepo-shard-*) cells",
+    )
     args = parser.parse_args(argv)
 
     impls = tuple(args.impls.split(",")) if args.impls else None
@@ -787,6 +837,11 @@ def main(argv: list[str] | None = None) -> int:
             s.name for s in IMPLEMENTATIONS if s.name.startswith("sepo-int")
         )
         impls = tuple(n for n in impls if n in integ) if impls else integ
+    if args.shard_only:
+        shard = tuple(
+            s.name for s in IMPLEMENTATIONS if s.name.startswith("sepo-shard")
+        )
+        impls = tuple(n for n in impls if n in shard) if impls else shard
 
     outcomes = run_matrix(
         seed=args.seed,

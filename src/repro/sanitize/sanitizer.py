@@ -76,6 +76,7 @@ __all__ = [
     "should_check",
     "check_heap",
     "check_table",
+    "check_shard_placement",
 ]
 
 #: valid sanitize levels, in increasing strictness
@@ -774,3 +775,48 @@ def _reconcile_tallies(table, report: SanitizeReport) -> None:
         )
     for message in table.org.reconcile_tally(table, report):
         report.flag("tally", message)
+
+
+# ----------------------------------------------------------------------
+# cross-shard placement (sharded executor)
+# ----------------------------------------------------------------------
+def check_shard_placement(
+    shard_map, tables, raise_on_violation: bool = True
+) -> int:
+    """Cross-shard invariant: every key lives in exactly its home shard.
+
+    Walks every shard table's CPU chains (:meth:`GpuHashTable.cpu_items`)
+    and verifies that (a) each reachable key's hash-assigned shard
+    (``shard_map.shard_of_key``) is the shard it was found in, and (b) no
+    key is reachable from two different shards.  Either violation means
+    the partitioner and the shard map disagree -- lookups routed by the
+    map would then silently miss data, so this is the sharded analogue of
+    the dual-pointer check.
+
+    Returns the number of distinct keys seen across all shards.
+    """
+    violations: list[Violation] = []
+    home: dict[bytes, int] = {}
+    for s, table in enumerate(tables):
+        for key, _payload in table.cpu_items():
+            want = shard_map.shard_of_key(key)
+            if want != s:
+                violations.append(
+                    Violation(
+                        "shard-misplaced",
+                        f"key {key!r} reachable in shard {s} but hashes "
+                        f"to shard {want}",
+                    )
+                )
+            prev = home.setdefault(key, s)
+            if prev != s:
+                violations.append(
+                    Violation(
+                        "shard-duplicate",
+                        f"key {key!r} reachable in both shard {prev} and "
+                        f"shard {s}",
+                    )
+                )
+    if violations and raise_on_violation:
+        raise SanitizerError(violations)
+    return len(home)

@@ -1,0 +1,156 @@
+"""Host-side request router: many client streams, one sharded table.
+
+Clients :meth:`~ShardRouter.submit` small op batches (inserts, updates,
+deletes, lookups -- anything a :class:`~repro.core.mutations.
+MutationBatch` or plain :class:`~repro.core.records.RecordBatch`
+carries) from interleaved streams.  Submitting never answers anything
+directly: the router splits each batch by key-space shard and *coalesces*
+the per-shard slices until a shard has accumulated a SEPO-sized chunk
+(``chunk_records``), then runs that one shard's driver over the queued
+slices in arrival order.  Tiny client batches therefore never reach a
+device as tiny kernel launches -- the whole point of the router.
+
+Two bounds shape the queueing:
+
+* ``chunk_records`` -- a shard flushes as soon as its queue reaches this
+  many records (amortizes launch + transfer overhead per the cost model).
+* ``max_pending_records`` -- backpressure: total queued records across
+  all shards never exceeds this; an over-budget submit first flushes the
+  fullest queues, so host memory stays bounded no matter how skewed the
+  traffic.
+
+Answers are merged back *per submission*: every ticket's lookup results
+are re-keyed to that batch's own row numbers, and :meth:`~ShardRouter.
+drain` returns them in submission order, regardless of which shard
+answered what and when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bigkernel.partitioner import partition_by_shard
+from repro.core.records import RecordBatch
+
+__all__ = ["Ticket", "ShardRouter"]
+
+
+@dataclass
+class Ticket:
+    """Handle for one submitted batch; resolved at flush/drain time."""
+
+    seq: int
+    n_records: int
+    #: per-shard slice count still queued (0 = fully executed)
+    pending_parts: int = 0
+    #: parent-batch-local lookup answers, filled as shards flush
+    results: dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        return self.pending_parts == 0
+
+
+class ShardRouter:
+    """Batching front door for a :class:`~repro.shard.ShardedExecutor`."""
+
+    def __init__(
+        self,
+        executor,
+        *,
+        chunk_records: int = 1024,
+        max_pending_records: int = 8192,
+    ):
+        if chunk_records < 1:
+            raise ValueError(f"chunk_records must be >= 1: {chunk_records}")
+        if max_pending_records < chunk_records:
+            raise ValueError(
+                "max_pending_records must be >= chunk_records "
+                f"({max_pending_records} < {chunk_records})"
+            )
+        self.executor = executor
+        self.chunk_records = chunk_records
+        self.max_pending_records = max_pending_records
+        #: per-shard FIFO of (ticket, sub_batch, parent_indices)
+        self._queues: list[list[tuple]] = [
+            [] for _ in range(executor.n_shards)
+        ]
+        self._queued_records = [0] * executor.n_shards
+        self._tickets: list[Ticket] = []
+        self.stats = {
+            "submitted_batches": 0,
+            "submitted_records": 0,
+            "chunk_flushes": 0,
+            "backpressure_flushes": 0,
+            "drain_flushes": 0,
+            "flushed_chunks_records": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_records(self) -> int:
+        return sum(self._queued_records)
+
+    def submit(self, batch: RecordBatch) -> Ticket:
+        """Queue one client batch; may trigger shard flushes, never answers.
+
+        Returns a :class:`Ticket` whose ``results`` dict fills in (keyed
+        by the batch's own row numbers) as the owning shards flush.
+        """
+        ticket = Ticket(seq=len(self._tickets), n_records=len(batch))
+        self._tickets.append(ticket)
+        self.stats["submitted_batches"] += 1
+        self.stats["submitted_records"] += len(batch)
+        # Backpressure first: make room before queueing, flushing the
+        # fullest shards (most records retired per driver run).
+        while (
+            self.pending_records
+            and self.pending_records + len(batch) > self.max_pending_records
+        ):
+            fullest = max(
+                range(len(self._queues)), key=self._queued_records.__getitem__
+            )
+            self._flush_shard(fullest, cause="backpressure_flushes")
+        if len(batch):
+            for s, (sub, idx) in sorted(
+                partition_by_shard(batch, self.executor.shard_map).items()
+            ):
+                self._queues[s].append((ticket, sub, idx))
+                self._queued_records[s] += len(sub)
+                ticket.pending_parts += 1
+            batch.invalidate_cache()  # partition froze the parent arrays
+        # Coalescing trigger: any shard that now holds a SEPO-sized chunk
+        # executes immediately.
+        for s in range(len(self._queues)):
+            if self._queued_records[s] >= self.chunk_records:
+                self._flush_shard(s, cause="chunk_flushes")
+        return ticket
+
+    def drain(self) -> list[dict[int, Any]]:
+        """Flush every queue; return all tickets' results in submit order."""
+        for s in range(len(self._queues)):
+            if self._queues[s]:
+                self._flush_shard(s, cause="drain_flushes")
+        return [t.results for t in self._tickets]
+
+    # ------------------------------------------------------------------
+    def _flush_shard(self, s: int, cause: str) -> None:
+        queue = self._queues[s]
+        if not queue:
+            return
+        self._queues[s] = []
+        n = self._queued_records[s]
+        self._queued_records[s] = 0
+        self.stats[cause] += 1
+        self.stats["flushed_chunks_records"] += n
+        subs = [sub for _t, sub, _i in queue]
+        # One coalesced SEPO run over every queued slice, arrival order.
+        # The shard's table persists across runs, so interleaved streams
+        # see one consistent table.
+        self.executor.drivers[s].run(subs)
+        self.executor.total_records += n
+        for ticket, sub, idx in queue:
+            for j, v in getattr(sub, "lookup_results", {}).items():
+                ticket.results[int(idx[j])] = v
+            ticket.pending_parts -= 1

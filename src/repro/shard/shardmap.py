@@ -1,0 +1,75 @@
+"""Hash partitioning of the key space across shards.
+
+A shard owns a disjoint slice of the key space, decided by the *high* 32
+bits of the tables' 64-bit FNV-1a hash after an avalanche finalizer
+(the murmur3 ``fmix64`` steps).  Two deliberate choices:
+
+* **Finalizer first.**  FNV-1a diffuses its low bits well (bucket choice,
+  ``h % n_buckets``, is fine) but its high word has poor entropy on
+  short, similar keys -- sequential ASCII keys can collapse onto a
+  couple of residues mod ``n_shards``.  The xor-shift/multiply finalizer
+  avalanches every input bit into every output bit, so shard loads stay
+  balanced on exactly the workloads that need sharding.
+* **High bits second.**  The shard id reads the high 32 bits of the
+  *mixed* word while buckets read the low bits of the *raw* hash, so the
+  two decisions are statistically independent: within one shard, keys
+  still spread over all of that shard's buckets.  Sharding by
+  ``h % n_shards`` directly would interact catastrophically whenever
+  ``n_shards`` divides ``n_buckets`` -- every shard's table would then
+  use only ``1/n_shards`` of its buckets, multiplying chain depth by the
+  shard count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hashing import fnv1a
+
+__all__ = ["ShardMap"]
+
+_MASK64 = (1 << 64) - 1
+_FMIX_M1 = 0xFF51AFD7ED558CCD
+_FMIX_M2 = 0xC4CEB9FE1A85EC53
+
+
+def _fmix64(h: np.ndarray) -> np.ndarray:
+    """murmur3's 64-bit avalanche finalizer, vectorized (wraps mod 2^64)."""
+    s33 = np.uint64(33)
+    h = h ^ (h >> s33)
+    h = h * np.uint64(_FMIX_M1)
+    h = h ^ (h >> s33)
+    h = h * np.uint64(_FMIX_M2)
+    return h ^ (h >> s33)
+
+
+def _fmix64_scalar(h: int) -> int:
+    h ^= h >> 33
+    h = (h * _FMIX_M1) & _MASK64
+    h ^= h >> 33
+    h = (h * _FMIX_M2) & _MASK64
+    return h ^ (h >> 33)
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Stateless key -> shard assignment over ``n_shards`` shards."""
+
+    n_shards: int
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"need at least one shard, got {self.n_shards}")
+
+    def shard_of_hash(self, hashes: np.ndarray) -> np.ndarray:
+        """Vectorized shard ids for an array of 64-bit FNV-1a hashes."""
+        h = _fmix64(np.asarray(hashes, dtype=np.uint64))
+        return ((h >> np.uint64(32)) % np.uint64(self.n_shards)).astype(
+            np.int64
+        )
+
+    def shard_of_key(self, key: bytes) -> int:
+        """Scalar assignment (sanitizer / router convenience path)."""
+        return int((_fmix64_scalar(fnv1a(key)) >> 32) % self.n_shards)

@@ -67,3 +67,108 @@ def test_partition_sequence():
 def test_partition_sequence_bad_size():
     with pytest.raises(ValueError):
         partition_sequence([1], 0)
+
+
+# ----------------------------------------------------------------------
+# partition_lines / partition_sequence edge cases
+# ----------------------------------------------------------------------
+def test_partition_lines_chunk_at_least_input():
+    data = b"one\ntwo\nthree\n"
+    assert partition_lines(data, len(data)) == [data]
+    assert partition_lines(data, len(data) * 4) == [data]
+
+
+def test_partition_lines_single_oversized_record():
+    # one record, no terminator, longer than the chunk: one chunk, intact
+    data = b"y" * 64
+    assert partition_lines(data, 10) == [data]
+
+
+def test_partition_sequence_empty_input():
+    assert partition_sequence([], 4) == []
+
+
+def test_partition_sequence_chunk_at_least_len():
+    records = list(range(5))
+    assert partition_sequence(records, 5) == [records]
+    assert partition_sequence(records, 50) == [records]
+
+
+def test_partition_sequence_single_record():
+    assert partition_sequence([42], 3) == [[42]]
+
+
+# ----------------------------------------------------------------------
+# partition_by_shard: disjointness, losslessness, stable order
+# ----------------------------------------------------------------------
+import numpy as np
+
+from repro.bigkernel import partition_by_shard
+from repro.core.mutations import MutationBatch, OP_DELETE, OP_INSERT, OP_LOOKUP
+from repro.core.records import RecordBatch
+from repro.shard import ShardMap
+
+
+def _pairs(n):
+    return [(b"pk-%04d" % i, b"pv-%04d" % i) for i in range(n)]
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4, 8])
+def test_partition_by_shard_disjoint_union(n_shards):
+    batch = RecordBatch.from_pairs(_pairs(300))
+    shard_map = ShardMap(n_shards)
+    parts = partition_by_shard(batch, shard_map)
+    all_idx = np.concatenate([idx for _sub, idx in parts.values()])
+    # disjoint and union-equals-input
+    assert len(all_idx) == len(batch)
+    assert len(np.unique(all_idx)) == len(batch)
+    # every record landed in the shard its hash assigns
+    hashes = batch.cache.hashes()
+    for s, (sub, idx) in parts.items():
+        assert (shard_map.shard_of_hash(hashes[idx]) == s).all()
+        # sub-batch rows are the parent rows, in order
+        for j in range(len(sub)):
+            p = int(idx[j])
+            assert bytes(sub.keys[j][: sub.key_lens[j]]) == bytes(
+                batch.keys[p][: batch.key_lens[p]]
+            )
+    batch.invalidate_cache()
+
+
+def test_partition_by_shard_stable_intra_shard_order():
+    # duplicate keys all land in one shard, preserving arrival order
+    pairs = [(b"same-key", b"v%03d" % i) for i in range(20)]
+    batch = RecordBatch.from_pairs(pairs)
+    parts = partition_by_shard(batch, ShardMap(4))
+    assert len(parts) == 1
+    (sub, idx), = parts.values()
+    assert (np.diff(idx) > 0).all()  # strictly ascending parent rows
+    got = [bytes(sub.values[j][: sub.val_lens[j]]) for j in range(len(sub))]
+    assert got == [b"v%03d" % i for i in range(20)]
+    batch.invalidate_cache()
+
+
+def test_partition_by_shard_single_record():
+    batch = RecordBatch.from_pairs(_pairs(1))
+    parts = partition_by_shard(batch, ShardMap(8))
+    assert len(parts) == 1
+    (sub, idx), = parts.values()
+    assert len(sub) == 1 and idx.tolist() == [0]
+    batch.invalidate_cache()
+
+
+def test_partition_by_shard_mutation_batch_keeps_ops():
+    triples = [
+        (OP_INSERT, b"mk-%03d" % i, b"mv-%03d" % i) for i in range(30)
+    ] + [(OP_DELETE, b"mk-%03d" % i, b"") for i in range(10)] + [
+        (OP_LOOKUP, b"mk-%03d" % i, b"") for i in range(10)
+    ]
+    batch = MutationBatch.from_ops(triples)
+    parts = partition_by_shard(batch, ShardMap(4))
+    seen = 0
+    for _s, (sub, idx) in parts.items():
+        assert isinstance(sub, MutationBatch)
+        assert (sub.ops == batch.ops[idx]).all()
+        seen += len(sub)
+    assert seen == len(batch)
+    batch.invalidate_cache()

@@ -235,3 +235,82 @@ def test_kernels_module_degrades_without_numba():
     if not _kernels.HAVE_NUMBA:
         assert _kernels.gather_generic is _kernels.gather_level_generic
         assert _kernels.gather_key is _kernels.gather_level_key
+
+
+def _walk_chains_reference(w64, w32, heads, segmap, page_size, kind):
+    """Pure-Python mirror of the jitted whole-walk kernel (same two-pass
+    traversal, same header parses), used to exercise the compiled
+    materializer path in environments without numba."""
+    from repro.core.entries import GKLEN_MASK
+
+    counts, blocked = [], {}
+    rows = []
+    for i, head in enumerate(heads.tolist()):
+        addr = head
+        cnt = 0
+        while addr != NULL:
+            seg = addr // page_size
+            slot = int(segmap[seg])
+            if slot < 0:
+                blocked[i] = (seg, addr)
+                break
+            pos = slot * page_size + (addr - seg * page_size)
+            p4 = pos >> 2
+            if kind == "generic":
+                kw = int(w32[p4 + 4])
+                row = (addr, pos, kw & GKLEN_MASK, int(w32[p4 + 5]),
+                       kw & ~GKLEN_MASK)
+            else:
+                row = (addr, pos, int(w32[p4 + 8]), 0, int(w32[p4 + 9]))
+            rows.append(row)
+            cnt += 1
+            addr = int(w64[(pos >> 3) + 1])
+        counts.append(cnt)
+    cols = list(zip(*rows)) if rows else [[]] * 5
+    return (
+        np.array(counts, dtype=np.int64),
+        np.array(cols[0], dtype=np.int64),
+        np.array(cols[1], dtype=np.int64),
+        np.array(cols[2], dtype=np.int64),
+        np.array(cols[3], dtype=np.int64),
+        np.array(cols[4], dtype=np.int64),
+        blocked,
+    )
+
+
+@pytest.mark.parametrize("org_kind", ["basic", "multi-valued"])
+def test_whole_walk_compiled_path_matches_numpy(org_kind, monkeypatch):
+    """The compiled=True route through walk_chains must produce views
+    field-identical to the per-level numpy loop, including blocked
+    chains.  walk_chains is stubbed with a pure-Python mirror of the
+    jitted kernel, so the wrapper + assembly tail is exercised even in
+    this numba-less container."""
+    org = MultiValuedOrganization() if org_kind == "multi-valued" else None
+    kind = "key" if org_kind == "multi-valued" else "generic"
+    table, driver, _ = build(org=org)
+    insert(table, driver, PAIRS)
+    page_in_all(table)
+    # evict one resident page so some walk blocks mid-chain
+    seg = next(iter(table.heap._resident))
+    table.heap.evict([table.heap._resident[seg]])
+    heads = table.buckets.head_cpu
+    live = [int(h) for h in heads[heads != NULL]]
+
+    want = materialize_chains(table.heap, live, kind)
+    monkeypatch.setattr(chainview.K, "walk_chains", _walk_chains_reference)
+    got = materialize_chains(table.heap, live, kind, compiled=True)
+
+    assert set(want) == set(got)
+    for h in live:
+        a, b = want[h], got[h]
+        assert a.blocked == b.blocked
+        for f in ("addrs", "pos", "klens", "vlens", "flags", "costs",
+                  "cum", "keys"):
+            np.testing.assert_array_equal(getattr(a, f), getattr(b, f))
+
+
+def test_walk_chains_absent_without_numba():
+    from repro.core import _kernels
+
+    if not _kernels.HAVE_NUMBA:
+        assert _kernels.walk_chains is None

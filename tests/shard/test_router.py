@@ -1,0 +1,137 @@
+"""ShardRouter: coalescing, backpressure, submission-order answers."""
+
+import pytest
+
+from repro.core import BasicOrganization
+from repro.sanitize.conformance import _normalize
+from repro.sanitize.workloads import (
+    make_mutation_batches,
+    make_op_workload,
+    mutation_oracle,
+)
+from repro.shard import ShardRouter, ShardedExecutor
+
+N_BUCKETS = 64
+PAGE = 512
+HEAP = 400 * PAGE
+
+
+def make_executor(n_shards=4):
+    return ShardedExecutor(
+        n_shards,
+        lambda: BasicOrganization(),
+        n_buckets=N_BUCKETS,
+        heap_bytes=HEAP,
+        page_size=PAGE,
+        group_size=16,
+    )
+
+
+def test_constructor_validation():
+    ex = make_executor(1)
+    with pytest.raises(ValueError):
+        ShardRouter(ex, chunk_records=0)
+    with pytest.raises(ValueError):
+        ShardRouter(ex, chunk_records=128, max_pending_records=64)
+
+
+def test_interleaved_streams_match_mutation_oracle():
+    """Many tiny client batches through the router == the dict model."""
+    workload = make_op_workload("mixed-uniform", 1200, seed=5)
+    batch_size = 48
+    batches = make_mutation_batches(workload, "basic", batch_size=batch_size)
+    want_map, want_lookups = mutation_oracle(workload, "basic")
+
+    ex = make_executor(4)
+    router = ShardRouter(ex, chunk_records=256, max_pending_records=512)
+    tickets = [router.submit(b) for b in batches]
+    results = router.drain()
+
+    assert all(t.done for t in tickets)
+    assert [t.seq for t in tickets] == list(range(len(batches)))
+    # results come back in submission order, keyed by batch-local rows
+    got_lookups = {
+        b * batch_size + j: v
+        for b, res in enumerate(results)
+        for j, v in res.items()
+    }
+    assert got_lookups == want_lookups
+    assert _normalize(ex.result(), "basic") == want_map
+    ex.check_shards()
+    assert router.stats["submitted_batches"] == len(batches)
+    assert router.stats["submitted_records"] == len(workload)
+    assert router.stats["flushed_chunks_records"] == len(workload)
+
+
+def test_coalescing_defers_until_chunk_records():
+    """Sub-chunk submissions queue; the flush fires only once a shard
+    holds a SEPO-sized chunk -- the launch-amortization contract."""
+    workload = make_op_workload("mixed-uniform", 90, seed=1)
+    batches = make_mutation_batches(workload, "basic", batch_size=30)
+    ex = make_executor(1)  # one shard: queue growth is deterministic
+    router = ShardRouter(ex, chunk_records=64, max_pending_records=1024)
+
+    router.submit(batches[0])
+    router.submit(batches[1])
+    assert router.pending_records == 60  # below the chunk: nothing ran
+    assert router.stats["chunk_flushes"] == 0
+    assert ex.total_records == 0
+
+    router.submit(batches[2])  # 90 >= 64: the shard flushes
+    assert router.stats["chunk_flushes"] == 1
+    assert router.pending_records == 0
+    assert ex.total_records == 90
+    assert router.drain() is not None
+    assert router.stats["drain_flushes"] == 0  # nothing left to drain
+
+
+def test_backpressure_bounds_pending_records():
+    workload = make_op_workload("mixed-uniform", 400, seed=2)
+    batches = make_mutation_batches(workload, "basic", batch_size=40)
+    ex = make_executor(1)
+    # chunk == cap: queues can never reach the chunk threshold before the
+    # backpressure bound kicks in, so only backpressure can flush
+    router = ShardRouter(ex, chunk_records=100, max_pending_records=100)
+    for b in batches:
+        router.submit(b)
+        assert router.pending_records <= 100
+    assert router.stats["backpressure_flushes"] >= 1
+    router.drain()
+    assert router.pending_records == 0
+    assert ex.total_records == len(workload)
+
+
+def test_drain_flushes_leftovers_and_preserves_order():
+    workload = make_op_workload("delete-then-reinsert", 300, seed=4)
+    batches = make_mutation_batches(workload, "basic", batch_size=25)
+    want_map, want_lookups = mutation_oracle(workload, "basic")
+    ex = make_executor(2)
+    router = ShardRouter(ex, chunk_records=128, max_pending_records=256)
+    for b in batches:
+        router.submit(b)
+    assert router.pending_records > 0  # tail below the chunk threshold
+    results = router.drain()
+    assert router.stats["drain_flushes"] >= 1
+    assert len(results) == len(batches)
+    got = {
+        b * 25 + j: v for b, res in enumerate(results) for j, v in res.items()
+    }
+    assert got == want_lookups
+    assert _normalize(ex.result(), "basic") == want_map
+
+
+def test_empty_batch_submission_is_harmless():
+    workload = make_op_workload("mixed-uniform", 30, seed=6)
+    (batch,) = make_mutation_batches(workload, "basic", batch_size=30)
+    ex = make_executor(2)
+    router = ShardRouter(ex, chunk_records=8)
+    empty = make_mutation_batches(
+        make_op_workload("mixed-uniform", 1, seed=6), "basic", batch_size=1
+    )[0]
+    # a zero-record client batch must produce a done ticket, no queueing
+    empty_slice = empty.__class__.from_ops([])
+    t = router.submit(empty_slice)
+    assert t.done and t.n_records == 0
+    router.submit(batch)
+    results = router.drain()
+    assert results[0] == {}

@@ -1,0 +1,80 @@
+"""ShardMap: hash partitioning of the key space."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import fnv1a, fnv1a_batch
+from repro.core.records import pack_byte_rows
+from repro.shard import ShardMap
+
+KEYS = [b"sm-key-%05d" % i for i in range(2000)]
+
+
+def test_rejects_non_positive_shard_counts():
+    with pytest.raises(ValueError):
+        ShardMap(0)
+    with pytest.raises(ValueError):
+        ShardMap(-3)
+
+
+def test_scalar_and_vector_agree():
+    sm = ShardMap(8)
+    kmat, klens = pack_byte_rows(KEYS)
+    vec = sm.shard_of_hash(fnv1a_batch(kmat, klens))
+    for k, s in zip(KEYS, vec.tolist()):
+        assert sm.shard_of_key(k) == s
+
+
+def test_assignment_is_deterministic_and_total():
+    sm = ShardMap(4)
+    kmat, klens = pack_byte_rows(KEYS)
+    a = sm.shard_of_hash(fnv1a_batch(kmat, klens))
+    b = sm.shard_of_hash(fnv1a_batch(kmat, klens))
+    assert (a == b).all()
+    assert a.min() >= 0 and a.max() < 4
+
+
+def test_single_shard_maps_everything_to_zero():
+    sm = ShardMap(1)
+    kmat, klens = pack_byte_rows(KEYS)
+    assert (sm.shard_of_hash(fnv1a_batch(kmat, klens)) == 0).all()
+
+
+def test_shards_spread_reasonably():
+    """No shard should be empty or hog the keyspace on a uniform set."""
+    sm = ShardMap(4)
+    kmat, klens = pack_byte_rows(KEYS)
+    counts = np.bincount(sm.shard_of_hash(fnv1a_batch(kmat, klens)),
+                         minlength=4)
+    assert counts.min() > len(KEYS) // 16
+    assert counts.max() < len(KEYS) // 2
+
+
+def test_high_bits_keep_bucket_spread():
+    """The shard decision (high hash bits) must stay independent of the
+    bucket decision (low bits): within one shard, keys still hit many
+    distinct buckets even when n_shards divides n_buckets."""
+    sm = ShardMap(8)
+    n_buckets = 64  # divisible by 8: the low-bit trap case
+    kmat, klens = pack_byte_rows(KEYS)
+    hashes = fnv1a_batch(kmat, klens)
+    shards = sm.shard_of_hash(hashes)
+    buckets = (hashes % np.uint64(n_buckets)).astype(np.int64)
+    for s in range(8):
+        in_shard = buckets[shards == s]
+        # a low-bit shard function would leave exactly 64/8 = 8 buckets
+        assert len(np.unique(in_shard)) > n_buckets // 2
+
+
+def test_shard_of_key_matches_manual_fnv():
+    """Pin the exact recipe: fnv1a -> fmix64 avalanche -> high 32 bits."""
+    mask = (1 << 64) - 1
+    sm = ShardMap(5)
+    for k in (b"", b"a", b"hello-world"):
+        h = fnv1a(k)
+        h ^= h >> 33
+        h = (h * 0xFF51AFD7ED558CCD) & mask
+        h ^= h >> 33
+        h = (h * 0xC4CEB9FE1A85EC53) & mask
+        h ^= h >> 33
+        assert sm.shard_of_key(k) == (h >> 32) % 5

@@ -1,0 +1,73 @@
+"""ShardChannel / TransferSchedule: per-shard clocks and overlap math."""
+
+import pytest
+
+from repro.gpusim.clock import CostCategory
+from repro.shard import ShardChannel, TransferSchedule
+
+
+def test_schedule_needs_at_least_one_channel():
+    with pytest.raises(ValueError):
+        TransferSchedule([])
+
+
+def test_channel_owns_private_clock():
+    a, b = ShardChannel(0), ShardChannel(1)
+    a.bus.bulk(1 << 20)
+    assert a.elapsed > 0
+    assert b.elapsed == 0
+
+
+def test_makespan_is_max_busy_is_sum():
+    channels = [ShardChannel(i) for i in range(3)]
+    for i, ch in enumerate(channels):
+        ch.bus.bulk((i + 1) << 20)  # 1MB, 2MB, 3MB
+    sched = TransferSchedule(channels)
+    per = [ch.elapsed for ch in channels]
+    assert sched.makespan_seconds == pytest.approx(max(per))
+    assert sched.busy_seconds == pytest.approx(sum(per))
+    assert sched.parallel_speedup == pytest.approx(sum(per) / max(per))
+
+
+def test_overlap_counters_track_hidden_wire_time():
+    ch = ShardChannel(0)
+    wire = ch.bus.transfer_time(1 << 20)
+    # fully hidden: a kernel longer than the wire time runs concurrently
+    ch.bus.overlapped(1 << 20, hidden_seconds=wire * 2)
+    sched = TransferSchedule([ch])
+    assert sched.wire_seconds == pytest.approx(wire)
+    assert sched.hidden_seconds == pytest.approx(wire)
+    assert sched.overlap_efficiency == pytest.approx(1.0)
+    # fully exposed: nothing to hide behind
+    ch.bus.overlapped(1 << 20, hidden_seconds=0.0)
+    assert sched.overlap_efficiency == pytest.approx(0.5)
+
+
+def test_overlap_efficiency_zero_without_traffic():
+    sched = TransferSchedule([ShardChannel(0)])
+    assert sched.overlap_efficiency == 0.0
+    assert sched.makespan_seconds == 0.0
+    assert sched.parallel_speedup == 1.0
+
+
+def test_report_shape():
+    channels = [ShardChannel(i) for i in range(2)]
+    channels[0].bus.bulk(4096)
+    rep = TransferSchedule(channels).report()
+    assert rep["n_shards"] == 2
+    assert len(rep["per_shard_seconds"]) == 2
+    assert rep["makespan_seconds"] <= rep["busy_seconds"]
+    assert 0.0 <= rep["overlap_efficiency"] <= 1.0
+    assert rep["bytes_moved"] >= 4096
+    assert rep["parallel_speedup"] >= 1.0
+
+
+def test_pipeline_charges_the_channel_ledger():
+    ch = ShardChannel(0)
+    ch.pipeline.begin_pass()
+    ch.pipeline.account(1 << 16, kernel_seconds=0.0)  # first chunk: exposed
+    ch.pipeline.account(1 << 16, kernel_seconds=1.0)  # hidden behind kernel
+    assert ch.ledger.spent(CostCategory.PCIE) > 0
+    sched = TransferSchedule([ch])
+    assert sched.hidden_seconds > 0
+    assert 0.0 < sched.overlap_efficiency <= 1.0
